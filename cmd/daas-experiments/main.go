@@ -1,0 +1,194 @@
+// Command daas-experiments regenerates every table and figure of the
+// paper's evaluation in one run:
+//
+//	Figure 2   — fleet change-event analysis (IEI CDF, changes/day),
+//	Figure 4   — wait magnitude vs utilization (correlation),
+//	Figure 6   — wait distributions at low/high utilization,
+//	Figure 8   — the four load traces,
+//	Figure 9   — CPUIO × Trace 2 at 1.25× and 5× goals,
+//	Figure 10  — TPC-C × Trace 4 at 1.25× goal,
+//	Figure 11  — CPUIO × Trace 3 at 5× goal,
+//	Figure 12  — DS2 × Trace 1 at 1.25× goal,
+//	Figure 13  — the Util-vs-Auto drill-down of the TPC-C experiment,
+//	Figure 14  — ballooning vs naive memory scale-down,
+//	Section 4  — resize step-size statistics.
+//
+// Usage:
+//
+//	daas-experiments [-seed S] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"daasscale/internal/fleet"
+	"daasscale/internal/report"
+	"daasscale/internal/resource"
+	"daasscale/internal/sim"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daas-experiments: ")
+	seed := flag.Int64("seed", 42, "seed for every experiment")
+	quick := flag.Bool("quick", false, "fast smoke run: smaller fleet, decimated traces (online policies get less reaction headroom, so their numbers are distorted)")
+	outDir := flag.String("out", "", "also write every policy's per-interval series as CSV files into this directory")
+	markdownPath := flag.String("markdown", "", "also write the comparison tables as a markdown report to this file")
+	flag.Parse()
+
+	var md *os.File
+	if *markdownPath != "" {
+		var err error
+		if md, err = os.Create(*markdownPath); err != nil {
+			log.Fatal(err)
+		}
+		defer md.Close()
+		fmt.Fprintf(md, "# daasscale experiment report (seed %d)\n\n", *seed)
+	}
+
+	tenants, days, configs := 2000, 7, 300
+	decimate := 1
+	if *quick {
+		tenants, days, configs = 200, 3, 60
+		decimate = 4
+	}
+	cat := resource.LockStepCatalog()
+	out := os.Stdout
+
+	section := func(title string) { fmt.Fprintf(out, "\n========== %s ==========\n", title) }
+
+	// ---- Figure 2 -------------------------------------------------------
+	section("Figure 2: resource demand analysis in production (synthetic fleet)")
+	f := fleet.GenerateFleet(tenants, days, *seed)
+	analysis := fleet.Analyze(f, cat)
+	report.FleetSummary(out, analysis)
+
+	// ---- Figures 4 & 6 ----------------------------------------------------
+	section("Figures 4 & 6: wait statistics vs utilization")
+	samples, err := fleet.CollectWaitSamples(configs, 4, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO} {
+		rho, err := fleet.Correlation(samples, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "\n%s wait–utilization Spearman ρ = %.2f (Figure 4: increasing but weak)\n", k, rho)
+		report.WaitDistributionTable(out, fleet.SplitByUtilization(samples, k))
+	}
+	th := fleet.Calibrate(samples)
+	fmt.Fprintln(out, "\ncalibrated thresholds (Section 4.1):")
+	for _, k := range resource.Kinds {
+		fmt.Fprintf(out, "  %-7s waits LOW < %8.0f, HIGH ≥ %8.0f ms/interval\n", k, th.WaitLowMs[k], th.WaitHighMs[k])
+	}
+
+	// ---- Figure 8 ----------------------------------------------------------
+	section("Figure 8: traces derived from real-life workloads")
+	traces := trace.Standard(*seed)
+	for _, tr := range traces {
+		report.ASCIIChart(out, fmt.Sprintf("%s (mean %.0f rps, peak %.0f rps)", tr.Name, tr.Mean(), tr.Peak()), tr.RPS, 72, 8)
+	}
+
+	// ---- End-to-end comparisons (Figures 9–12) ---------------------------
+	type exp struct {
+		title      string
+		w          *workload.Workload
+		tr         *trace.Trace
+		goalFactor float64
+	}
+	maybeDecimate := func(tr *trace.Trace) *trace.Trace { return tr.Decimate(decimate) }
+	exps := []exp{
+		{"Figure 9(a): CPUIO × Trace 2, goal 1.25×Max", workload.CPUIO(workload.DefaultCPUIOConfig()), maybeDecimate(traces[1]), 1.25},
+		{"Figure 9(b): CPUIO × Trace 2, goal 5×Max", workload.CPUIO(workload.DefaultCPUIOConfig()), maybeDecimate(traces[1]), 5},
+		{"Figure 10: TPC-C × Trace 4, goal 1.25×Max", workload.TPCC(), maybeDecimate(traces[3]), 1.25},
+		{"Figure 11: CPUIO × Trace 3, goal 5×Max", workload.CPUIO(workload.DefaultCPUIOConfig()), maybeDecimate(traces[2]), 5},
+		{"Figure 12: DS2 × Trace 1, goal 1.25×Max", workload.DS2(), maybeDecimate(traces[0]), 1.25},
+	}
+	var tpccComp sim.Comparison
+	for _, e := range exps {
+		section(e.title)
+		comp, err := sim.RunComparison(sim.ComparisonSpec{
+			Workload:   e.w,
+			Trace:      e.tr,
+			GoalFactor: e.goalFactor,
+			Seed:       *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.ComparisonTable(out, e.title, comp)
+		if md != nil {
+			report.MarkdownComparison(md, e.title, comp)
+		}
+		if *outDir != "" {
+			for _, r := range comp.Results {
+				name := fmt.Sprintf("%s_%s_goal%.2fx_%s.csv", r.Workload, r.Trace, e.goalFactor, r.Policy)
+				if err := writeSeriesCSV(filepath.Join(*outDir, name), r.Series); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if e.w.Name == "tpcc" {
+			tpccComp = comp
+		}
+	}
+
+	// ---- Figure 13 ---------------------------------------------------------
+	section("Figure 13: drill-down — why Util overpays on the lock-bound workload")
+	for _, p := range []string{"Util", "Auto"} {
+		r, ok := tpccComp.ByPolicy(p)
+		if !ok {
+			log.Fatalf("missing %s result", p)
+		}
+		frac := make([]float64, len(r.Series))
+		for i, pt := range r.Series {
+			frac[i] = pt.ContainerCPUFrac * 100
+		}
+		report.ASCIIChart(out, fmt.Sprintf("%s: container max CPU as %% of server", p), frac, 72, 8)
+		report.WaitMixTable(out, r)
+	}
+
+	// ---- Figure 14 ---------------------------------------------------------
+	section("Figure 14: ballooning and low memory demand")
+	ball, err := sim.RunBallooningExperiment(sim.BallooningSpec{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, arm := range []sim.BallooningArm{ball.Without, ball.With} {
+		mem := make([]float64, len(arm.Series))
+		lat := make([]float64, len(arm.Series))
+		for i, pt := range arm.Series {
+			mem[i] = pt.MemoryUsedMB
+			lat[i] = pt.AvgMs
+		}
+		report.ASCIIChart(out, arm.Name+": memory used (MB)", mem, 72, 7)
+		report.ASCIIChart(out, arm.Name+": average latency (ms)", lat, 72, 7)
+		fmt.Fprintf(out, "%s: baseline %.1f ms, peak %.1f ms, min memory %.0f MB (working set %.0f MB)\n\n",
+			arm.Name, arm.BaselineAvgMs(), arm.PeakAvgMs(), arm.MinMemoryMB(), ball.WorkingSetMB)
+	}
+
+	// ---- Section 4 step sizes ----------------------------------------------
+	section("Section 4: resize step sizes across the fleet")
+	fmt.Fprintf(out, "1-step resizes:  %.1f%%  (paper: ≈90%%)\n", analysis.OneStepShare*100)
+	fmt.Fprintf(out, "≤2-step resizes: %.1f%%  (paper: ≈98%%)\n", analysis.AtMostTwoStepsShare*100)
+}
+
+// writeSeriesCSV dumps one run's per-interval series for external plotting.
+func writeSeriesCSV(path string, series []sim.IntervalPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.SeriesCSV(f, series); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,118 @@
+// Command daas-sim runs a single auto-scaling experiment: one workload ×
+// trace pair evaluated under all six policies (Max, Peak, Avg, Trace, Util,
+// Auto), printing the paper-style comparison table and, optionally, the
+// drill-down series of one policy as CSV.
+//
+// Usage:
+//
+//	daas-sim [-workload tpcc|ds2|cpuio] [-trace trace1..trace4]
+//	         [-goal-factor F] [-seed S] [-sensitivity low|medium|high]
+//	         [-budget B -budget-intervals N]
+//	         [-csv POLICY -out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"daasscale/internal/budget"
+	"daasscale/internal/estimator"
+	"daasscale/internal/fleet"
+	"daasscale/internal/report"
+	"daasscale/internal/resource"
+	"daasscale/internal/sim"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daas-sim: ")
+	workloadName := flag.String("workload", "cpuio", "workload: tpcc, ds2 or cpuio")
+	traceName := flag.String("trace", "trace2", "trace: trace1..trace4")
+	goalFactor := flag.Float64("goal-factor", 1.25, "latency goal as a multiple of the Max-container p95")
+	seed := flag.Int64("seed", 42, "seed")
+	sensitivity := flag.String("sensitivity", "medium", "performance sensitivity: low, medium or high")
+	budgetTotal := flag.Float64("budget", 0, "optional budget for Auto over the budgeting period (0 = unlimited)")
+	budgetIntervals := flag.Int("budget-intervals", 0, "budgeting period in billing intervals (defaults to the trace length)")
+	calibrate := flag.Bool("calibrate", false, "calibrate estimator thresholds from a fleet sample first")
+	csvPolicy := flag.String("csv", "", "export this policy's per-interval series as CSV")
+	outPath := flag.String("out", "", "CSV output file (default stdout)")
+	flag.Parse()
+
+	w, err := workload.ByName(*workloadName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.ByName(*traceName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sens estimator.Sensitivity
+	switch *sensitivity {
+	case "low":
+		sens = estimator.SensitivityLow
+	case "medium":
+		sens = estimator.SensitivityMedium
+	case "high":
+		sens = estimator.SensitivityHigh
+	default:
+		log.Fatalf("unknown sensitivity %q", *sensitivity)
+	}
+
+	cs := sim.ComparisonSpec{
+		Workload:    w,
+		Trace:       tr,
+		GoalFactor:  *goalFactor,
+		Seed:        *seed,
+		Sensitivity: sens,
+	}
+	if *budgetTotal > 0 {
+		n := *budgetIntervals
+		if n == 0 {
+			n = tr.Len()
+		}
+		cat := resource.LockStepCatalog()
+		bud, err := budget.New(budget.Aggressive, *budgetTotal, n, cat.Smallest().Cost, cat.Largest().Cost, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs.AutoBudget = bud
+	}
+	if *calibrate {
+		samples, err := fleet.CollectWaitSamples(200, 4, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs.Thresholds = fleet.Calibrate(samples)
+		fmt.Fprintln(os.Stderr, "note: Auto uses fleet-calibrated thresholds")
+	}
+
+	comp, err := sim.RunComparison(cs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	title := fmt.Sprintf("%s × %s, goal %.2f × Max p95", w.Name, tr.Name, *goalFactor)
+	report.ComparisonTable(os.Stdout, title, comp)
+
+	if *csvPolicy != "" {
+		r, ok := comp.ByPolicy(*csvPolicy)
+		if !ok {
+			log.Fatalf("no result for policy %q", *csvPolicy)
+		}
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.SeriesCSV(out, r.Series); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

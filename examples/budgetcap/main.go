@@ -1,0 +1,77 @@
+// Budgetcap: the Section 5 budget manager in action. The tenant sets a hard
+// monthly budget; the token-bucket budget manager translates it into a
+// per-interval allowance that permits bursts while guaranteeing the total is
+// never exceeded. The example contrasts the aggressive initialization
+// (TI = D: burst immediately, risk being pinned to the cheapest container
+// later) with the conservative one (TI = K·Cmax: early bursts are limited,
+// budget is preserved for later).
+//
+// Run with:
+//
+//	go run ./examples/budgetcap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daasscale/internal/budget"
+	"daasscale/internal/core"
+	"daasscale/internal/engine"
+	"daasscale/internal/resource"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cat := resource.LockStepCatalog()
+	tr := trace.Trace4(360, 4) // six bursty hours
+	const totalBudget = 360 * 12.0
+
+	fmt.Printf("budgeting period: %d intervals, budget %.0f units (unconstrained bursts would want far more)\n\n",
+		tr.Len(), totalBudget)
+
+	for _, strategy := range []budget.Strategy{budget.Aggressive, budget.Conservative} {
+		bud, err := budget.New(strategy, totalBudget, tr.Len(), cat.Smallest().Cost, cat.Largest().Cost, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scaler, err := core.New(core.Config{
+			Catalog: cat,
+			Initial: cat.Smallest(),
+			Goal:    core.LatencyGoal{Kind: core.GoalP95, Ms: 150},
+			Budget:  bud,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := engine.New(workload.TPCC(), scaler.Container(), 7, engine.Options{WarmStart: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen := workload.NewGenerator(8, 0.1)
+
+		constrained := 0
+		for minute := 0; minute < tr.Len(); minute++ {
+			for tick := 0; tick < eng.TicksPerInterval(); tick++ {
+				eng.Tick(gen.Offered(tr.At(minute)))
+			}
+			d := scaler.Observe(eng.EndInterval())
+			if d.BudgetConstrained {
+				constrained++
+			}
+			if d.Changed {
+				eng.SetContainer(d.Target)
+			}
+			eng.SetMemoryTargetMB(d.BalloonTargetMB)
+		}
+		fmt.Printf("%-12s spent %7.1f / %.0f  (%.1f%% of budget), budget-constrained in %d intervals\n",
+			strategy, bud.Spent(), totalBudget, bud.Spent()/totalBudget*100, constrained)
+		if bud.Spent() > totalBudget {
+			log.Fatalf("budget invariant violated: %v > %v", bud.Spent(), totalBudget)
+		}
+	}
+	fmt.Println("\nboth strategies keep the hard budget; they differ in when the surplus may be burned.")
+}

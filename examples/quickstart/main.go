@@ -1,0 +1,73 @@
+// Quickstart: the minimal closed loop. A tenant database (the CPUIO
+// micro-benchmark) runs inside a simulated DaaS container while the
+// auto-scaler picks the container size each billing interval from nothing
+// but engine telemetry, a p95 latency goal, and the container catalog.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daasscale/internal/core"
+	"daasscale/internal/engine"
+	"daasscale/internal/resource"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The service offers a catalog of container sizes.
+	cat := resource.LockStepCatalog()
+
+	// 2. The tenant's database: a mixed CPU/I/O workload with a 3GB hot set.
+	w := workload.CPUIO(workload.DefaultCPUIOConfig())
+	eng, err := engine.New(w, cat.Smallest(), 1, engine.Options{WarmStart: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The auto-scaler: the tenant states a latency goal — not a
+	// container size — and the controller does the rest.
+	scaler, err := core.New(core.Config{
+		Catalog: cat,
+		Initial: cat.Smallest(),
+		Goal:    core.LatencyGoal{Kind: core.GoalP95, Ms: 60},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Drive a bursty day: mostly idle with one long burst.
+	tr := trace.Trace2(240, 7)
+	gen := workload.NewGenerator(2, 0.1)
+	var totalCost float64
+	for minute := 0; minute < tr.Len(); minute++ {
+		for tick := 0; tick < eng.TicksPerInterval(); tick++ {
+			eng.Tick(gen.Offered(tr.At(minute)))
+		}
+		snap := eng.EndInterval()
+		totalCost += snap.Cost
+
+		decision := scaler.Observe(snap)
+		if decision.Changed {
+			fmt.Printf("minute %3d: load %5.0f rps, p95 %6.1f ms → resize to %-3s (cost %3.0f/interval)\n",
+				minute, snap.OfferedRPS, snap.P95LatencyMs, decision.Target.Name, decision.Target.Cost)
+			for _, e := range decision.Explanations {
+				fmt.Printf("            because: %s\n", e)
+			}
+			eng.SetContainer(decision.Target)
+		}
+		eng.SetMemoryTargetMB(decision.BalloonTargetMB)
+	}
+	fmt.Printf("\ntotal cost: %.0f units over %d intervals (%.1f/interval)\n",
+		totalCost, tr.Len(), totalCost/float64(tr.Len()))
+	fmt.Printf("a static largest-container tenant would have paid %.0f (%.1fx more)\n",
+		cat.Largest().Cost*float64(tr.Len()),
+		cat.Largest().Cost*float64(tr.Len())/totalCost)
+}

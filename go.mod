@@ -1,0 +1,3 @@
+module daasscale
+
+go 1.22

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"daasscale/internal/core"
+	"daasscale/internal/engine"
+	"daasscale/internal/resource"
+	"daasscale/internal/workload"
+)
+
+// Example shows the closed loop at its smallest: a tenant states a latency
+// goal, telemetry flows in once per billing interval, and the controller
+// reacts to a load surge with an explained container resize.
+func Example() {
+	cat := resource.LockStepCatalog()
+	w := workload.CPUIO(workload.CPUIOConfig{CPUWeight: 1, WorkingSetMB: 512, HotspotFraction: 1})
+	eng, err := engine.New(w, cat.AtStep(1), 1, engine.Options{WarmStart: true, NoiseProb: -1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	scaler, err := core.New(core.Config{
+		Catalog: cat,
+		Initial: cat.AtStep(1),
+		Goal:    core.LatencyGoal{Kind: core.GoalP95, Ms: 80},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for minute := 0; minute < 10; minute++ {
+		load := 30.0
+		if minute >= 4 {
+			load = 300 // the surge: ~2.7 cores of CPU demand on a 1-core container
+		}
+		for tick := 0; tick < eng.TicksPerInterval(); tick++ {
+			eng.Tick(load)
+		}
+		d := scaler.Observe(eng.EndInterval())
+		if d.Changed {
+			fmt.Printf("minute %d: %s\n", minute, d.Explanations[len(d.Explanations)-1])
+			eng.SetContainer(d.Target)
+		}
+	}
+	fmt.Printf("final container: %s\n", scaler.Container().Name)
+	// Output:
+	// minute 5: container C1 → C3 (cost 15 → 45)
+	// minute 6: container C3 → C4 (cost 45 → 60)
+	// final container: C4
+}

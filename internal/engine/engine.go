@@ -1,0 +1,555 @@
+// Package engine simulates a container-constrained relational database
+// server — the substrate the paper prototypes on (Azure SQL Database /
+// SQL Server). The simulation reproduces, at one-second granularity, the
+// causal structure the paper's demand-estimation signals depend on:
+//
+//   - fluid queues per physical resource (CPU, disk I/O, log I/O): when
+//     per-tick demand exceeds the container's allocation, a backlog builds,
+//     requests wait (wait-statistics accrue) and latency rises;
+//   - a buffer pool with a hotspot working set: cache warms as pages are
+//     read, misses become physical disk I/Os, and shrinking memory below
+//     the working set converts memory shortfall into disk-I/O demand (the
+//     mechanism behind ballooning, Section 4.3 and Figure 14);
+//   - an application-level lock model whose waits grow with offered
+//     concurrency and are untouched by container size (the mechanism behind
+//     the Figure 13 drill-down);
+//   - per-request latency sampling with multiplicative variance, so tail
+//     (95th-percentile) latency behaves realistically;
+//   - optional telemetry noise injection (outlier spikes) to exercise the
+//     robust statistics.
+//
+// The engine emits one telemetry.Snapshot per billing interval; everything
+// the auto-scaler learns, it learns from those snapshots.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+	"daasscale/internal/workload"
+)
+
+// Options tunes the engine's physical model. The zero value is completed by
+// DefaultOptions.
+type Options struct {
+	// BaseLatencyMs is the fixed per-request overhead (network round trips,
+	// parsing, result streaming) independent of resources.
+	BaseLatencyMs float64
+	// IOServiceMs is the service time of one physical disk I/O at an empty
+	// queue.
+	IOServiceMs float64
+	// LogServiceMsPerKB is the log-write service time per kilobyte.
+	LogServiceMsPerKB float64
+	// MemStallMs is the per-request stall incurred when a hot-set access
+	// misses the buffer pool.
+	MemStallMs float64
+	// LatencySigma is the lognormal dispersion of per-request latency
+	// around the modelled mean; it shapes the p95/mean ratio.
+	LatencySigma float64
+	// ColdCacheMB is the buffer-pool size immediately after a restart.
+	ColdCacheMB float64
+	// WarmStart starts the buffer pool pre-warmed to the working set
+	// (clamped to the container's memory), modelling a database measured
+	// after its usual warm-up, as in the paper's runs.
+	WarmStart bool
+	// WarmMBPerPhysRead is how much cache a physical read warms (page size).
+	WarmMBPerPhysRead float64
+	// MaxQueueSeconds caps each resource backlog at this many seconds of
+	// capacity; excess work is shed (modelling throttling/timeouts).
+	MaxQueueSeconds float64
+	// NoiseProb is the per-tick probability of an outlier telemetry spike
+	// (a transient system activity); NoiseScale is its magnitude. Zero
+	// selects the default; a negative value disables noise entirely.
+	NoiseProb  float64
+	NoiseScale float64
+	// CheckpointEverySec, when > 0, models periodic checkpoints: every
+	// CheckpointEverySec seconds the engine flushes accumulated dirty pages
+	// as a burst of disk writes — one of the "transient system activities
+	// such as checkpoints interacting with workload" the paper names as a
+	// telemetry noise source (Section 3). 0 disables checkpoints.
+	CheckpointEverySec int
+	// TicksPerInterval is the number of one-second ticks per billing
+	// interval (60 = one simulated minute, the paper's compressed billing
+	// interval).
+	TicksPerInterval int
+}
+
+// DefaultOptions returns the model constants used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		BaseLatencyMs:     12,
+		IOServiceMs:       0.35,
+		LogServiceMsPerKB: 0.04,
+		MemStallMs:        18,
+		LatencySigma:      0.35,
+		ColdCacheMB:       256,
+		WarmMBPerPhysRead: 8.0 / 1024, // 8KB pages
+		MaxQueueSeconds:   2,
+		NoiseProb:         0.01,
+		NoiseScale:        40,
+		TicksPerInterval:  60,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.BaseLatencyMs == 0 {
+		o.BaseLatencyMs = d.BaseLatencyMs
+	}
+	if o.IOServiceMs == 0 {
+		o.IOServiceMs = d.IOServiceMs
+	}
+	if o.LogServiceMsPerKB == 0 {
+		o.LogServiceMsPerKB = d.LogServiceMsPerKB
+	}
+	if o.MemStallMs == 0 {
+		o.MemStallMs = d.MemStallMs
+	}
+	if o.LatencySigma == 0 {
+		o.LatencySigma = d.LatencySigma
+	}
+	if o.ColdCacheMB == 0 {
+		o.ColdCacheMB = d.ColdCacheMB
+	}
+	if o.WarmMBPerPhysRead == 0 {
+		o.WarmMBPerPhysRead = d.WarmMBPerPhysRead
+	}
+	if o.MaxQueueSeconds == 0 {
+		o.MaxQueueSeconds = d.MaxQueueSeconds
+	}
+	if o.NoiseProb == 0 {
+		o.NoiseProb = d.NoiseProb
+	}
+	if o.NoiseScale == 0 {
+		o.NoiseScale = d.NoiseScale
+	}
+	if o.TicksPerInterval == 0 {
+		o.TicksPerInterval = d.TicksPerInterval
+	}
+	return o
+}
+
+// Engine simulates one tenant database inside a resource container.
+type Engine struct {
+	w    *workload.Workload
+	prof workload.Profile
+	opts Options
+	cont resource.Container
+	rng  *rand.Rand
+
+	// Buffer-pool state.
+	usedMB      float64
+	memTargetMB float64 // 0 = no ballooning target
+
+	// Checkpoint state: dirty pages accumulated since the last checkpoint.
+	dirtyPages float64
+
+	// Fluid-queue backlogs.
+	backlogCPUms  float64
+	backlogIOOps  float64
+	backlogLogKB  float64
+	sheddedCPUms  float64
+	sheddedIOOps  float64
+	sheddedLogKB  float64
+	intervalIndex int
+	tick          int
+
+	latencySink func(ms float64)
+
+	lastWaitTypes map[telemetry.WaitType]float64
+
+	acc intervalAccumulator
+}
+
+// intervalAccumulator collects per-tick observations for one billing
+// interval.
+type intervalAccumulator struct {
+	servedCPU, capCPU float64
+	servedIO, capIO   float64
+	servedLog, capLog float64
+	peakUtil          resource.Vector
+	waitMs            [telemetry.NumWaitClasses]float64
+	latSamples        []float64
+	txns              float64
+	offeredSum        float64
+	physReads         float64
+	physWrites        float64
+	ticks             int
+}
+
+// New creates an engine for the workload inside the given container. The
+// seed makes every run reproducible. The workload must validate.
+func New(w *workload.Workload, cont resource.Container, seed int64, opts Options) (*Engine, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	o := opts.withDefaults()
+	e := &Engine{
+		w:    w,
+		prof: w.MixProfile(),
+		opts: o,
+		cont: cont,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	start := o.ColdCacheMB
+	if o.WarmStart && w.WorkingSetMB > start {
+		start = w.WorkingSetMB
+	}
+	e.usedMB = math.Min(start, cont.Alloc[resource.Memory])
+	return e, nil
+}
+
+// Container returns the current container.
+func (e *Engine) Container() resource.Container { return e.cont }
+
+// Workload returns the workload the engine runs.
+func (e *Engine) Workload() *workload.Workload { return e.w }
+
+// SetContainer resizes the container (an online operation in the DaaS).
+// Shrinking memory evicts cache immediately; growing memory requires the
+// cache to re-warm through physical reads.
+func (e *Engine) SetContainer(c resource.Container) {
+	e.cont = c
+	if e.usedMB > c.Alloc[resource.Memory] {
+		e.usedMB = c.Alloc[resource.Memory]
+	}
+}
+
+// SetMemoryTargetMB installs a ballooning target below the container's
+// memory allocation; the buffer pool is clamped to the target. A target of
+// 0 removes ballooning.
+func (e *Engine) SetMemoryTargetMB(mb float64) { e.memTargetMB = mb }
+
+// MemoryTargetMB returns the current ballooning target (0 when none).
+func (e *Engine) MemoryTargetMB() float64 { return e.memTargetMB }
+
+// MemoryUsedMB returns the memory currently in use (dominated by caches).
+func (e *Engine) MemoryUsedMB() float64 { return e.usedMB }
+
+// SetLatencySink installs a callback receiving every per-request latency
+// sample as it is generated — the hook the experiment harness uses to
+// compute run-level percentiles across container changes.
+func (e *Engine) SetLatencySink(fn func(ms float64)) { e.latencySink = fn }
+
+// SheddedWork reports the cumulative work shed because a resource backlog
+// exceeded its cap (CPU core-ms, disk I/Os, log KB) — the engine's stand-in
+// for request timeouts under sustained overload.
+func (e *Engine) SheddedWork() (cpuMs, ioOps, logKB float64) {
+	return e.sheddedCPUms, e.sheddedIOOps, e.sheddedLogKB
+}
+
+// IntervalIndex returns the index of the billing interval being
+// accumulated.
+func (e *Engine) IntervalIndex() int { return e.intervalIndex }
+
+// TicksPerInterval returns the configured interval length in ticks.
+func (e *Engine) TicksPerInterval() int { return e.opts.TicksPerInterval }
+
+// effectiveMemoryMB is the buffer-pool ceiling: the container allocation,
+// further limited by any ballooning target.
+func (e *Engine) effectiveMemoryMB() float64 {
+	capMB := e.cont.Alloc[resource.Memory]
+	if e.memTargetMB > 0 && e.memTargetMB < capMB {
+		capMB = e.memTargetMB
+	}
+	return capMB
+}
+
+// hitRates returns the buffer-pool hit fractions for hot and cold accesses.
+func (e *Engine) hitRates() (hot, cold float64) {
+	ws := e.w.WorkingSetMB
+	if ws <= 0 {
+		hot = 1
+	} else {
+		hot = math.Min(1, e.usedMB/ws)
+	}
+	coldData := e.w.DataSizeMB - ws
+	if coldData <= 0 {
+		cold = 1
+	} else {
+		cold = math.Min(1, math.Max(0, e.usedMB-ws)/coldData)
+	}
+	return hot, cold
+}
+
+// Tick advances the simulation by one second with the given offered load
+// (transactions arriving during the second).
+func (e *Engine) Tick(offered float64) {
+	if offered < 0 {
+		offered = 0
+	}
+	o := &e.opts
+	p := &e.prof
+
+	// --- Buffer pool ---------------------------------------------------
+	memCap := e.effectiveMemoryMB()
+	if e.usedMB > memCap {
+		e.usedMB = memCap // forced eviction
+	}
+	hHot, hCold := e.hitRates()
+	missFrac := e.w.HotspotFraction*(1-hHot) + (1-e.w.HotspotFraction)*(1-hCold)
+	logicalReads := offered * p.LogicalReads
+	physReads := logicalReads * missFrac
+	physWrites := offered * p.WritePages
+	// Checkpoints defer a share of the page flushes, then burst them. The
+	// long-run write volume is identical; the telemetry gets spikier.
+	if o.CheckpointEverySec > 0 {
+		deferred := physWrites * 0.5
+		physWrites -= deferred
+		e.dirtyPages += deferred
+		if e.tick%o.CheckpointEverySec == o.CheckpointEverySec-1 {
+			physWrites += e.dirtyPages
+			e.dirtyPages = 0
+		}
+	}
+
+	// --- Fluid queues ----------------------------------------------------
+	perTxnPhysIO := 0.0
+	if offered > 0 {
+		perTxnPhysIO = (physReads + physWrites) / offered
+	}
+	cpuDemand := offered*p.CPUms + (physReads+physWrites)*0.03 // I/O handling CPU
+	cpuCap := e.cont.Alloc[resource.CPU]
+	servedCPU, dCPU := e.drain(&e.backlogCPUms, cpuDemand, cpuCap, &e.sheddedCPUms)
+
+	ioDemand := physReads + physWrites
+	ioCap := e.cont.Alloc[resource.DiskIO]
+	servedIO, dIO := e.drain(&e.backlogIOOps, ioDemand, ioCap, &e.sheddedIOOps)
+
+	// Only *served* reads bring pages into the cache: warming is bounded by
+	// the container's I/O capacity, which is why recovering an evicted
+	// working set takes so long (Figure 14's slow tail).
+	if ioDemand > 0 {
+		servedReads := servedIO * physReads / ioDemand
+		warmCap := math.Min(memCap, e.w.DataSizeMB)
+		e.usedMB = math.Min(warmCap, e.usedMB+servedReads*o.WarmMBPerPhysRead)
+	}
+
+	logDemand := offered * p.LogKB
+	logCap := e.cont.Alloc[resource.LogIO]
+	servedLog, dLog := e.drain(&e.backlogLogKB, logDemand, logCap, &e.sheddedLogKB)
+
+	// Graded queueing penalty below saturation: even when the queue drains
+	// every tick, service-time variance makes latency climb steeply as
+	// utilization approaches the allocation (an M/M/1-style ρ/(1−ρ) term).
+	// This is what lets a loose latency goal ride a container near
+	// saturation while a tight goal needs headroom.
+	congest := func(demand, capacity float64) float64 {
+		if capacity <= 0 {
+			return 0
+		}
+		rho := demand / capacity
+		if rho > 0.98 {
+			rho = 0.98
+		}
+		f := rho * rho / (1 - rho)
+		if f > 25 {
+			f = 25
+		}
+		return f
+	}
+	cpuCongest := p.CPUms * congest(cpuDemand, cpuCap)
+	ioCongest := perTxnPhysIO * o.IOServiceMs * congest(ioDemand, ioCap)
+	logCongest := p.LogKB * o.LogServiceMsPerKB * congest(logDemand, logCap)
+
+	// --- Wait statistics -------------------------------------------------
+	// Requests whose work is still queued wait the whole tick; the number
+	// of waiting requests is backlog divided by per-request demand.
+	waitMs := func(backlog, perTxn float64) float64 {
+		if backlog <= 0 {
+			return 0
+		}
+		per := math.Max(perTxn, 0.1)
+		return backlog / per * 1000
+	}
+	a := &e.acc
+	a.waitMs[telemetry.WaitCPU] += waitMs(e.backlogCPUms, p.CPUms)
+	a.waitMs[telemetry.WaitDiskIO] += waitMs(e.backlogIOOps, perTxnPhysIO)
+	a.waitMs[telemetry.WaitLogIO] += waitMs(e.backlogLogKB, p.LogKB)
+
+	// Hot-set buffer misses stall requests on page-ins.
+	hotMissPerTxn := e.w.HotspotFraction * (1 - hHot)
+	memStall := hotMissPerTxn * o.MemStallMs
+	a.waitMs[telemetry.WaitMemory] += offered * memStall
+
+	// Application locks: waiters queue behind concurrent holders. Queue
+	// length follows Little's law on conflicting transactions; waits are
+	// therefore superlinear in offered load and independent of container
+	// size.
+	holders := offered * p.LockConflictProb * p.LockHoldMs / 1000
+	perTxnLockWait := p.LockConflictProb * holders * p.LockHoldMs
+	a.waitMs[telemetry.WaitLock] += offered * perTxnLockWait
+
+	perTxnLatch := p.LatchProb * 1.5
+	a.waitMs[telemetry.WaitLatch] += offered * perTxnLatch
+
+	sys := 30.0
+	if o.NoiseProb > 0 && e.rng.Float64() < o.NoiseProb {
+		// Transient system activity (checkpoint, backup) — an outlier spike.
+		sys *= o.NoiseScale
+		cls := telemetry.WaitClasses[e.rng.Intn(telemetry.NumWaitClasses)]
+		a.waitMs[cls] += sys * 10
+	}
+	a.waitMs[telemetry.WaitSystem] += sys
+
+	// --- Latency ---------------------------------------------------------
+	if offered > 0 {
+		perTxnLatency := o.BaseLatencyMs +
+			p.CPUms +
+			perTxnPhysIO*o.IOServiceMs +
+			p.LogKB*o.LogServiceMsPerKB +
+			cpuCongest + ioCongest + logCongest +
+			dCPU + dIO + dLog +
+			memStall +
+			perTxnLockWait +
+			perTxnLatch
+		n := int(math.Min(offered, 24))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			f := math.Exp(o.LatencySigma * e.rng.NormFloat64())
+			sample := perTxnLatency * f
+			a.latSamples = append(a.latSamples, sample)
+			if e.latencySink != nil {
+				e.latencySink(sample)
+			}
+		}
+		a.txns += offered
+	}
+
+	// --- Accumulate ------------------------------------------------------
+	a.servedCPU += servedCPU
+	a.capCPU += cpuCap
+	a.servedIO += servedIO
+	a.capIO += ioCap
+	a.servedLog += servedLog
+	a.capLog += logCap
+	peak := func(k resource.Kind, served, capacity float64) {
+		if capacity > 0 && served/capacity > a.peakUtil[k] {
+			a.peakUtil[k] = served / capacity
+		}
+	}
+	peak(resource.CPU, servedCPU, cpuCap)
+	peak(resource.DiskIO, servedIO, ioCap)
+	peak(resource.LogIO, servedLog, logCap)
+	a.offeredSum += offered
+	a.physReads += physReads
+	a.physWrites += physWrites
+	a.ticks++
+	e.tick++
+}
+
+// drain advances one fluid queue by a tick: demand joins the backlog, up to
+// capacity units are served, the backlog is capped at MaxQueueSeconds of
+// capacity (excess shed), and the queueing delay (ms) a new arrival would
+// experience is returned.
+func (e *Engine) drain(backlog *float64, demand, capacity float64, shed *float64) (served, delayMs float64) {
+	total := *backlog + demand
+	served = math.Min(total, capacity)
+	rest := total - served
+	maxQ := e.opts.MaxQueueSeconds * capacity
+	if rest > maxQ {
+		*shed += rest - maxQ
+		rest = maxQ
+	}
+	*backlog = rest
+	if capacity > 0 {
+		delayMs = rest / capacity * 1000
+	} else if rest > 0 {
+		delayMs = e.opts.MaxQueueSeconds * 1000
+	}
+	return served, delayMs
+}
+
+// EndInterval closes the current billing interval, returning its telemetry
+// snapshot and resetting the accumulators. Call after TicksPerInterval
+// ticks (the sim harness enforces this; calling early yields a snapshot
+// over the ticks so far).
+func (e *Engine) EndInterval() telemetry.Snapshot {
+	a := &e.acc
+	s := telemetry.Snapshot{
+		Interval:       e.intervalIndex,
+		Container:      e.cont.Name,
+		Step:           e.cont.Step,
+		Cost:           e.cont.Cost,
+		WaitMs:         a.waitMs,
+		Transactions:   a.txns,
+		MemoryUsedMB:   e.usedMB,
+		PhysicalReads:  a.physReads,
+		PhysicalWrites: a.physWrites,
+	}
+	if a.capCPU > 0 {
+		s.Utilization[resource.CPU] = a.servedCPU / a.capCPU
+	}
+	if mem := e.cont.Alloc[resource.Memory]; mem > 0 {
+		s.Utilization[resource.Memory] = e.usedMB / mem
+	}
+	if a.capIO > 0 {
+		s.Utilization[resource.DiskIO] = a.servedIO / a.capIO
+	}
+	if a.capLog > 0 {
+		s.Utilization[resource.LogIO] = a.servedLog / a.capLog
+	}
+	s.UtilizationPeak = a.peakUtil
+	s.UtilizationPeak[resource.Memory] = s.Utilization[resource.Memory]
+	if a.ticks > 0 {
+		s.OfferedRPS = a.offeredSum / float64(a.ticks)
+	}
+	if len(a.latSamples) > 0 {
+		var sum float64
+		for _, l := range a.latSamples {
+			sum += l
+		}
+		s.AvgLatencyMs = sum / float64(len(a.latSamples))
+		s.P95LatencyMs = quantile(a.latSamples, 0.95)
+	}
+	// Emit the interval's waits in the shape a real DBMS reports them:
+	// per engine wait type, to be folded back into classes by the telemetry
+	// manager's mapping rules (Section 3.1 of the paper).
+	byType := make(map[telemetry.WaitType]float64)
+	for _, class := range telemetry.WaitClasses {
+		for t, ms := range telemetry.SplitClassWaits(class, a.waitMs[class]) {
+			byType[t] += ms
+		}
+	}
+	e.lastWaitTypes = byType
+
+	e.acc = intervalAccumulator{}
+	e.intervalIndex++
+	return s
+}
+
+// LastIntervalWaitTypes returns the per-wait-type breakdown of the most
+// recently completed interval's waits — the raw-telemetry view a production
+// DBMS exposes. telemetry.AggregateWaitTypes folds it back into the classes
+// the snapshot carries.
+func (e *Engine) LastIntervalWaitTypes() map[telemetry.WaitType]float64 {
+	out := make(map[telemetry.WaitType]float64, len(e.lastWaitTypes))
+	for t, ms := range e.lastWaitTypes {
+		out[t] = ms
+	}
+	return out
+}
+
+// quantile avoids importing stats to keep the engine dependency-light; it
+// matches stats.Quantile's interpolation.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

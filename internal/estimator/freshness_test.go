@@ -1,0 +1,84 @@
+package estimator
+
+import (
+	"testing"
+
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+)
+
+// TestFreshnessGateBlocksStaleScaleUp covers the anti-overshoot rule: after
+// a resize satisfies the demand, the windowed medians still scream HIGH for
+// a few intervals, but the *current* interval shows no waits — the
+// estimator must not keep scaling.
+func TestFreshnessGateBlocksStaleScaleUp(t *testing.T) {
+	e := mustEstimator(t, SensitivityMedium)
+	var sig telemetry.Signals
+	// Stale medians: HIGH utilization, HIGH waits, significant share.
+	sig.Resources[resource.CPU].Utilization = 0.9
+	sig.Resources[resource.CPU].WaitMs = 400_000
+	sig.Resources[resource.CPU].WaitPct = 0.7
+	sig.Resources[resource.CPU].PrevWaitMs = 400_000
+	sig.Resources[resource.CPU].PrevUtilization = 0.9
+	// Fresh reality: the resize worked, no one is waiting now.
+	sig.Current.Utilization[resource.CPU] = 0.4
+	sig.Current.WaitMs[telemetry.WaitCPU] = 100
+	d := e.Estimate(sig)
+	if d.Steps[resource.CPU] > 0 {
+		t.Errorf("stale medians with a quiet current interval must not scale up: %v / %v", d.Steps, d.Explanations)
+	}
+}
+
+// TestTwoIntervalFastPath covers the burst-onset rule: the medians have not
+// caught up, but the last two intervals agree that waits exploded — the
+// estimator reacts without waiting for the median.
+func TestTwoIntervalFastPath(t *testing.T) {
+	e := mustEstimator(t, SensitivityMedium)
+	var sig telemetry.Signals
+	// Medians still calm (burst started two intervals ago, window of 5).
+	sig.Resources[resource.CPU].Utilization = 0.1
+	sig.Resources[resource.CPU].WaitMs = 500
+	sig.Resources[resource.CPU].WaitPct = 0.1
+	// The two most recent intervals agree: saturation.
+	sig.Resources[resource.CPU].PrevWaitMs = 500_000
+	sig.Resources[resource.CPU].PrevUtilization = 0.95
+	sig.Current.Utilization[resource.CPU] = 0.97
+	sig.Current.WaitMs[telemetry.WaitCPU] = 600_000
+	d := e.Estimate(sig)
+	if d.Steps[resource.CPU] < 1 {
+		t.Errorf("two consecutive saturated intervals should scale up: %v / %v", d.Steps, d.Explanations)
+	}
+}
+
+// TestSingleOutlierIntervalIgnored: one spiked interval (current high, prev
+// calm) must not trigger — that is the robustness the two-interval minimum
+// buys.
+func TestSingleOutlierIntervalIgnored(t *testing.T) {
+	e := mustEstimator(t, SensitivityMedium)
+	var sig telemetry.Signals
+	sig.Resources[resource.CPU].Utilization = 0.1
+	sig.Resources[resource.CPU].WaitMs = 500
+	sig.Resources[resource.CPU].WaitPct = 0.1
+	sig.Resources[resource.CPU].PrevWaitMs = 400 // previous interval calm
+	sig.Resources[resource.CPU].PrevUtilization = 0.1
+	sig.Current.Utilization[resource.CPU] = 0.99 // one wild interval
+	sig.Current.WaitMs[telemetry.WaitCPU] = 900_000
+	d := e.Estimate(sig)
+	if d.Steps[resource.CPU] > 0 {
+		t.Errorf("a single outlier interval must not scale up: %v / %v", d.Steps, d.Explanations)
+	}
+}
+
+// TestMemoryFreshnessGate mirrors the queue gate for the memory rules.
+func TestMemoryFreshnessGate(t *testing.T) {
+	e := mustEstimator(t, SensitivityMedium)
+	var sig telemetry.Signals
+	sig.Resources[resource.Memory].WaitMs = 200_000
+	sig.Resources[resource.Memory].WaitPct = 0.6
+	sig.Resources[resource.Memory].PrevWaitMs = 200_000
+	sig.Current.WaitMs[telemetry.WaitMemory] = 0 // page-ins finished
+	d := e.Estimate(sig)
+	if d.Steps[resource.Memory] > 0 {
+		t.Errorf("quiet current memory waits must block the stale scale-up: %v", d.Steps)
+	}
+}

@@ -1,0 +1,77 @@
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"daasscale/internal/resource"
+)
+
+// thresholdsJSON is the serialized form of Thresholds: resource-keyed maps
+// instead of positional arrays, so files stay readable and stable if the
+// resource order ever changes.
+type thresholdsJSON struct {
+	UtilLow            float64            `json:"util_low"`
+	UtilHigh           float64            `json:"util_high"`
+	WaitLowMs          map[string]float64 `json:"wait_low_ms"`
+	WaitHighMs         map[string]float64 `json:"wait_high_ms"`
+	WaitPctSignificant float64            `json:"wait_pct_significant"`
+	CorrSignificant    float64            `json:"corr_significant"`
+	ExtremeUtil        float64            `json:"extreme_util"`
+	ExtremeWaitFactor  float64            `json:"extreme_wait_factor"`
+}
+
+// WriteJSON serializes the thresholds (e.g. to persist a fleet calibration
+// for the next service deployment, the paper's automated re-tuning path).
+func (t Thresholds) WriteJSON(w io.Writer) error {
+	out := thresholdsJSON{
+		UtilLow:            t.UtilLow,
+		UtilHigh:           t.UtilHigh,
+		WaitLowMs:          map[string]float64{},
+		WaitHighMs:         map[string]float64{},
+		WaitPctSignificant: t.WaitPctSignificant,
+		CorrSignificant:    t.CorrSignificant,
+		ExtremeUtil:        t.ExtremeUtil,
+		ExtremeWaitFactor:  t.ExtremeWaitFactor,
+	}
+	for _, k := range resource.Kinds {
+		out.WaitLowMs[k.String()] = t.WaitLowMs[k]
+		out.WaitHighMs[k.String()] = t.WaitHighMs[k]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadThresholdsJSON parses and validates thresholds written by WriteJSON.
+func ReadThresholdsJSON(r io.Reader) (Thresholds, error) {
+	var in thresholdsJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return Thresholds{}, fmt.Errorf("estimator: decoding thresholds: %w", err)
+	}
+	t := Thresholds{
+		UtilLow:            in.UtilLow,
+		UtilHigh:           in.UtilHigh,
+		WaitPctSignificant: in.WaitPctSignificant,
+		CorrSignificant:    in.CorrSignificant,
+		ExtremeUtil:        in.ExtremeUtil,
+		ExtremeWaitFactor:  in.ExtremeWaitFactor,
+	}
+	for _, k := range resource.Kinds {
+		lo, ok := in.WaitLowMs[k.String()]
+		if !ok {
+			return Thresholds{}, fmt.Errorf("estimator: thresholds missing wait_low_ms for %v", k)
+		}
+		hi, ok := in.WaitHighMs[k.String()]
+		if !ok {
+			return Thresholds{}, fmt.Errorf("estimator: thresholds missing wait_high_ms for %v", k)
+		}
+		t.WaitLowMs[k] = lo
+		t.WaitHighMs[k] = hi
+	}
+	if err := t.Validate(); err != nil {
+		return Thresholds{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,253 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"daasscale/internal/resource"
+)
+
+var cat = resource.LockStepCatalog()
+
+// serverCap is a 32-core box matching the largest container.
+var serverCap = cat.Largest().Alloc
+
+func mustFabric(t *testing.T, n int, policy PlacementPolicy) *Fabric {
+	t.Helper()
+	f, err := New(n, serverCap, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || BestFit.String() != "best-fit" || WorstFit.String() != "worst-fit" {
+		t.Error("policy names wrong")
+	}
+	if PlacementPolicy(9).String() != "placementpolicy(9)" {
+		t.Error("unknown policy name")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, serverCap, FirstFit); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, err := New(2, resource.Vector{}, FirstFit); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestPlaceAndLookup(t *testing.T) {
+	f := mustFabric(t, 2, FirstFit)
+	if err := f.Place("t1", cat.AtStep(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Place("t1", cat.AtStep(0)); err == nil {
+		t.Error("duplicate placement should fail")
+	}
+	s, ok := f.ServerOf("t1")
+	if !ok || s.ID != 0 {
+		t.Errorf("t1 on server %+v", s)
+	}
+	c, ok := f.Container("t1")
+	if !ok || c.Name != "C4" {
+		t.Errorf("container = %v", c)
+	}
+	if _, ok := f.ServerOf("ghost"); ok {
+		t.Error("unknown tenant should not resolve")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerAccounting(t *testing.T) {
+	f := mustFabric(t, 1, FirstFit)
+	c4 := cat.AtStep(4)
+	c2 := cat.AtStep(2)
+	f.Place("a", c4)
+	f.Place("b", c2)
+	s := f.Servers()[0]
+	if s.TenantCount() != 2 {
+		t.Errorf("tenant count = %d", s.TenantCount())
+	}
+	wantAlloc := c4.Alloc.Add(c2.Alloc)
+	if s.Allocated() != wantAlloc {
+		t.Errorf("allocated = %v, want %v", s.Allocated(), wantAlloc)
+	}
+	if got := s.Headroom(); got != serverCap.Sub(wantAlloc) {
+		t.Errorf("headroom = %v", got)
+	}
+	if ts := s.Tenants(); len(ts) != 2 || ts[0] != "a" || ts[1] != "b" {
+		t.Errorf("tenants = %v", ts)
+	}
+}
+
+func TestPlacementRespectsCapacity(t *testing.T) {
+	f := mustFabric(t, 1, FirstFit)
+	if err := f.Place("big", cat.Largest()); err != nil {
+		t.Fatal(err)
+	}
+	// The server is full: even the smallest container must be refused.
+	if err := f.Place("small", cat.Smallest()); err == nil {
+		t.Error("placement on a full cluster should fail")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeInPlace(t *testing.T) {
+	f := mustFabric(t, 2, FirstFit)
+	f.Place("t1", cat.AtStep(2))
+	migrated, err := f.Resize("t1", cat.AtStep(5))
+	if err != nil || migrated {
+		t.Fatalf("in-place resize: migrated=%v err=%v", migrated, err)
+	}
+	if c, _ := f.Container("t1"); c.Name != "C5" {
+		t.Errorf("container = %s", c.Name)
+	}
+	if f.Migrations() != 0 {
+		t.Errorf("migrations = %d", f.Migrations())
+	}
+	// No-op resize.
+	if migrated, err := f.Resize("t1", cat.AtStep(5)); err != nil || migrated {
+		t.Error("no-op resize should do nothing")
+	}
+	// Unknown tenant.
+	if _, err := f.Resize("ghost", cat.AtStep(1)); err == nil {
+		t.Error("resizing an unplaced tenant should fail")
+	}
+}
+
+func TestResizeMigratesWhenHostFull(t *testing.T) {
+	f := mustFabric(t, 2, FirstFit)
+	f.Place("big", cat.AtStep(9))   // 24 cores on server 0
+	f.Place("small", cat.AtStep(2)) // 2 cores fit alongside on server 0
+	// Growing small to C8 (16 cores) cannot fit on server 0 → migrate.
+	migrated, err := f.Resize("small", cat.AtStep(8))
+	if err != nil || !migrated {
+		t.Fatalf("expected migration: migrated=%v err=%v", migrated, err)
+	}
+	if s, _ := f.ServerOf("small"); s.ID != 1 {
+		t.Errorf("small should be on server 1, got %d", s.ID)
+	}
+	if f.Migrations() != 1 {
+		t.Errorf("migrations = %d", f.Migrations())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeRefusedKeepsContainer(t *testing.T) {
+	f := mustFabric(t, 2, FirstFit)
+	f.Place("a", cat.AtStep(9)) // server 0: 24/32 cores
+	f.Place("b", cat.AtStep(9)) // server 1: 24/32 cores
+	f.Place("c", cat.AtStep(2)) // fits on server 0
+	// c wants C9: neither server has 24 spare cores → refuse.
+	migrated, err := f.Resize("c", cat.AtStep(9))
+	if err == nil || migrated {
+		t.Fatalf("resize should be refused: migrated=%v err=%v", migrated, err)
+	}
+	if c, _ := f.Container("c"); c.Name != "C2" {
+		t.Errorf("refused resize must keep the container, got %s", c.Name)
+	}
+	if f.Refusals() != 1 {
+		t.Errorf("refusals = %d", f.Refusals())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkAlwaysInPlace(t *testing.T) {
+	f := mustFabric(t, 1, FirstFit)
+	f.Place("t", cat.Largest())
+	migrated, err := f.Resize("t", cat.Smallest())
+	if err != nil || migrated {
+		t.Fatalf("shrink: migrated=%v err=%v", migrated, err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	f := mustFabric(t, 1, FirstFit)
+	f.Place("t", cat.AtStep(4))
+	if err := f.Remove("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove("t"); err == nil {
+		t.Error("double remove should fail")
+	}
+	if f.Servers()[0].TenantCount() != 0 {
+		t.Error("tenant not evicted")
+	}
+}
+
+func TestBestFitPacksDensely(t *testing.T) {
+	f := mustFabric(t, 3, BestFit)
+	f.Place("a", cat.AtStep(8)) // 16 cores → server 0
+	// A 2-core tenant should co-locate on the fullest server that fits.
+	f.Place("b", cat.AtStep(2))
+	if s, _ := f.ServerOf("b"); s.ID != 0 {
+		t.Errorf("best-fit should pack onto server 0, got %d", s.ID)
+	}
+}
+
+func TestWorstFitBalances(t *testing.T) {
+	f := mustFabric(t, 3, WorstFit)
+	f.Place("a", cat.AtStep(8)) // server 0
+	f.Place("b", cat.AtStep(2))
+	if s, _ := f.ServerOf("b"); s.ID == 0 {
+		t.Error("worst-fit should spread to an empty server")
+	}
+}
+
+func TestUtilizationView(t *testing.T) {
+	f := mustFabric(t, 2, FirstFit)
+	f.Place("a", cat.AtStep(8)) // 16 of 32 cores
+	u := f.Utilization()
+	if len(u) != 2 || u[0] != 0.5 || u[1] != 0 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestFabricInvariantUnderRandomChurn(t *testing.T) {
+	// Property: any sequence of place/resize/remove operations keeps every
+	// server within capacity and the placement index consistent.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		policy := PlacementPolicy(rng.Intn(3))
+		f := mustFabric(t, 1+rng.Intn(4), policy)
+		live := map[string]bool{}
+		next := 0
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0: // place
+				id := fmt.Sprintf("t%d", next)
+				next++
+				if f.Place(id, cat.AtStep(rng.Intn(cat.LadderLen()))) == nil {
+					live[id] = true
+				}
+			case 1: // resize
+				for id := range live {
+					f.Resize(id, cat.AtStep(rng.Intn(cat.LadderLen())))
+					break
+				}
+			case 2: // remove
+				for id := range live {
+					if f.Remove(id) == nil {
+						delete(live, id)
+					}
+					break
+				}
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("trial %d op %d (%v): %v", trial, op, policy, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"daasscale/internal/estimator"
+	"daasscale/internal/resource"
+)
+
+// The paper (Section 4.1): "As the software evolves, new hardware SKUs are
+// deployed in the data centers, and new container sizes are supported in
+// the service, these thresholds need to be re-tuned. Updating these
+// thresholds incrementally is automated through reports and alerts
+// expressed over the aggregate telemetry collected from the service." This
+// file is that report: it compares the thresholds currently in force with a
+// fresh calibration and flags the resources whose thresholds have drifted.
+
+// Drift describes the threshold movement for one resource between the
+// active calibration and a fresh one.
+type Drift struct {
+	Kind             resource.Kind
+	OldLow, NewLow   float64
+	OldHigh, NewHigh float64
+	// RelChange is the larger of the two relative changes (low and high).
+	RelChange float64
+}
+
+// Significant reports whether the drift exceeds the given relative
+// tolerance (e.g. 0.25 = alert when a threshold moved by more than 25%).
+func (d Drift) Significant(tolerance float64) bool { return d.RelChange > tolerance }
+
+// ThresholdDrift compares two calibrations per resource.
+func ThresholdDrift(active, fresh estimator.Thresholds) []Drift {
+	rel := func(old, new float64) float64 {
+		if old == 0 {
+			if new == 0 {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		return math.Abs(new-old) / old
+	}
+	var out []Drift
+	for _, k := range resource.Kinds {
+		d := Drift{
+			Kind:    k,
+			OldLow:  active.WaitLowMs[k],
+			NewLow:  fresh.WaitLowMs[k],
+			OldHigh: active.WaitHighMs[k],
+			NewHigh: fresh.WaitHighMs[k],
+		}
+		d.RelChange = math.Max(rel(d.OldLow, d.NewLow), rel(d.OldHigh, d.NewHigh))
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteDriftReport renders the drift table with alert markers — the report
+// a service administrator reviews before promoting a new calibration.
+func WriteDriftReport(w io.Writer, drifts []Drift, tolerance float64) {
+	fmt.Fprintf(w, "threshold drift report (alert tolerance ±%.0f%%)\n", tolerance*100)
+	fmt.Fprintf(w, "  %-8s %12s %12s %12s %12s %8s\n", "resource", "low (old)", "low (new)", "high (old)", "high (new)", "drift")
+	for _, d := range drifts {
+		mark := ""
+		if d.Significant(tolerance) {
+			mark = "  ← ALERT"
+		}
+		fmt.Fprintf(w, "  %-8s %12.0f %12.0f %12.0f %12.0f %7.0f%%%s\n",
+			d.Kind, d.OldLow, d.NewLow, d.OldHigh, d.NewHigh, d.RelChange*100, mark)
+	}
+}

@@ -1,0 +1,98 @@
+package learned
+
+import (
+	"fmt"
+	"math/rand"
+
+	"daasscale/internal/engine"
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+	"daasscale/internal/workload"
+)
+
+// Observation is one labeled telemetry snapshot with its features.
+type Observation struct {
+	// Snapshot is the baseline container's telemetry for the interval.
+	Snapshot telemetry.Snapshot
+	// X is the extracted feature vector.
+	X [FeatureDim]float64
+	// ScaleUpHelps is the twin-run ground truth: the next larger container
+	// at least halved p95 latency on the identical load.
+	ScaleUpHelps bool
+}
+
+// Samples projects observations onto classifier samples.
+func Samples(obs []Observation) []Sample {
+	out := make([]Sample, len(obs))
+	for i, o := range obs {
+		out[i] = Sample{X: o.X, ScaleUpHelps: o.ScaleUpHelps}
+	}
+	return out
+}
+
+// GenerateDataset produces labeled observations for one workload family by
+// running engine stints at randomized loads and container sizes — and, for
+// the ground truth, running the identical load in the next larger container
+// (a "twin run"): the label is whether scaling up substantially improved
+// p95 latency. In production no one can run twin experiments, which is why
+// demand must be *estimated* (Section 1); here the simulator affords us the
+// counterfactual as ground truth.
+//
+// family is "cpuio" (query mix and working set re-randomized per
+// configuration), "tpcc" or "ds2".
+func GenerateDataset(family string, configs, intervalsPer int, seed int64) ([]Observation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cat := resource.LockStepCatalog()
+	var out []Observation
+	for c := 0; c < configs; c++ {
+		var w *workload.Workload
+		switch family {
+		case "cpuio":
+			w = workload.CPUIO(workload.CPUIOConfig{
+				CPUWeight:       0.3 + rng.Float64()*2,
+				IOWeight:        0.3 + rng.Float64()*2,
+				LogWeight:       rng.Float64(),
+				WorkingSetMB:    512 + rng.Float64()*3000,
+				HotspotFraction: 0.9 + rng.Float64()*0.1,
+			})
+		case "tpcc":
+			w = workload.TPCC()
+		case "ds2":
+			w = workload.DS2()
+		default:
+			return nil, fmt.Errorf("learned: unknown workload family %q", family)
+		}
+		prof := w.MixProfile()
+		step := rng.Intn(cat.LadderLen() - 1) // keep a larger twin available
+		base := cat.AtStep(step)
+		up := cat.AtStep(step + 1)
+		// Load is drawn relative to the chosen container's CPU allocation so
+		// that both label classes occur for every family — as across a real
+		// fleet, where load and provisioning are correlated.
+		maxRPS := 1.5 * base.Alloc[resource.CPU] / prof.CPUms
+		rps := rng.Float64() * maxRPS
+
+		engSeed := seed + int64(c)*17
+		baseEng, err := engine.New(w, base, engSeed, engine.Options{WarmStart: true, NoiseProb: -1})
+		if err != nil {
+			return nil, err
+		}
+		upEng, err := engine.New(w, up, engSeed, engine.Options{WarmStart: true, NoiseProb: -1})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < intervalsPer; i++ {
+			for t := 0; t < baseEng.TicksPerInterval(); t++ {
+				jitter := 1 + 0.1*(2*rng.Float64()-1)
+				load := rps * jitter
+				baseEng.Tick(load)
+				upEng.Tick(load)
+			}
+			bs := baseEng.EndInterval()
+			us := upEng.EndInterval()
+			label := bs.P95LatencyMs > 0 && us.P95LatencyMs <= 0.5*bs.P95LatencyMs
+			out = append(out, Observation{Snapshot: bs, X: Features(&bs), ScaleUpHelps: label})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package learned
+
+import (
+	"math"
+	"testing"
+
+	"daasscale/internal/estimator"
+	"daasscale/internal/telemetry"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	onlyPos := []Sample{{ScaleUpHelps: true}, {ScaleUpHelps: true}}
+	if _, err := Train(onlyPos, TrainConfig{}); err == nil {
+		t.Error("single-class training set should fail")
+	}
+}
+
+func TestTrainSeparatesLinearlySeparableData(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		u := float64(i) / 200
+		var x [FeatureDim]float64
+		x[0] = u
+		samples = append(samples, Sample{X: x, ScaleUpHelps: u > 0.5})
+	}
+	m, err := Train(samples, TrainConfig{Epochs: 2000, LearningRate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(samples); acc < 0.95 {
+		t.Errorf("separable data accuracy = %v", acc)
+	}
+	if m.W[0] <= 0 {
+		t.Errorf("weight on the discriminating feature should be positive: %v", m.W[0])
+	}
+}
+
+func TestPredictBounds(t *testing.T) {
+	m := &Model{W: [FeatureDim]float64{10, -10, 5, 0, 0, 0, 2, -1}, B: 1}
+	for i := range m.Std {
+		m.Std[i] = 1
+	}
+	for _, x := range [][FeatureDim]float64{{}, {1, 1, 1, 1, 1, 1, 1, 1}, {-5, 9, 0, 3, -2, 8, 1, 4}} {
+		p := m.Predict(x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("Predict(%v) = %v", x, p)
+		}
+	}
+}
+
+func TestBalancedAccuracy(t *testing.T) {
+	samples := []Sample{
+		{ScaleUpHelps: true}, {ScaleUpHelps: true},
+		{ScaleUpHelps: false}, {ScaleUpHelps: false}, {ScaleUpHelps: false}, {ScaleUpHelps: false},
+	}
+	// "Always false" gets 0.5 balanced accuracy despite 4/6 plain accuracy.
+	if got := BalancedAccuracy(samples, func(Sample) bool { return false }); got != 0.5 {
+		t.Errorf("balanced accuracy = %v, want 0.5", got)
+	}
+	if got := BalancedAccuracy(nil, func(Sample) bool { return false }); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	onlyNeg := samples[2:]
+	if got := BalancedAccuracy(onlyNeg, func(Sample) bool { return false }); got != 1 {
+		t.Errorf("single-class = %v", got)
+	}
+}
+
+func TestDatasetGeneration(t *testing.T) {
+	obs, err := GenerateDataset("cpuio", 30, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 90 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	var pos int
+	for _, o := range obs {
+		for _, f := range o.X {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("bad feature: %v", o.X)
+			}
+		}
+		if o.ScaleUpHelps {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(obs) {
+		t.Errorf("dataset needs both classes: %d/%d positive", pos, len(obs))
+	}
+	if _, err := GenerateDataset("bogus", 1, 1, 1); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if got := len(Samples(obs)); got != len(obs) {
+		t.Errorf("Samples projection lost rows: %d", got)
+	}
+}
+
+// rulesClassify is the rule-based arm: the estimator sees the same
+// snapshot (as steady signals) and predicts "scale up" when any resource
+// shows high demand.
+func rulesClassify(est *estimator.Estimator, o Observation) bool {
+	return est.Estimate(telemetry.SteadySignals(o.Snapshot)).AnyHigh()
+}
+
+// TestOverfittingReproduction is the Section 4 claim as a test: the learned
+// model predicts "will scaling help?" well on its training family and
+// degrades on an unseen, lock-contended one, while the rule-based estimator
+// holds up on both.
+func TestOverfittingReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	train, err := GenerateDataset("cpuio", 120, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDomain, err := GenerateDataset("cpuio", 60, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossDomain, err := GenerateDataset("tpcc", 60, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(Samples(train), TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classify := func(s Sample) bool { return m.Classify(s.X) }
+	accIn := BalancedAccuracy(Samples(inDomain), classify)
+	accCross := BalancedAccuracy(Samples(crossDomain), classify)
+
+	est, err := estimator.New(estimator.DefaultThresholds(), estimator.SensitivityMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesBalanced := func(obs []Observation) float64 {
+		preds := make([]bool, len(obs))
+		for i, o := range obs {
+			preds[i] = rulesClassify(est, o)
+		}
+		i := -1
+		return BalancedAccuracy(Samples(obs), func(Sample) bool { i++; return preds[i] })
+	}
+	rulesIn := rulesBalanced(inDomain)
+	rulesCross := rulesBalanced(crossDomain)
+
+	t.Logf("learned: in-domain %.2f, cross-domain %.2f; rules: in-domain %.2f, cross-domain %.2f",
+		accIn, accCross, rulesIn, rulesCross)
+
+	// The paper's Section 4 narrative, as four relative claims:
+	// (1) the model fits the workload it was trained on better than the
+	//     generic rules do ("high prediction accuracy on the workload it
+	//     had been trained on");
+	if accIn <= rulesIn {
+		t.Errorf("learned in-domain %v should beat the generic rules %v on its own family", accIn, rulesIn)
+	}
+	// (2) its accuracy degrades on the unseen family;
+	if accCross > accIn-0.05 {
+		t.Errorf("learned cross-domain %v should degrade vs in-domain %v", accCross, accIn)
+	}
+	// (3) the rules do not degrade across families (domain knowledge
+	//     generalizes);
+	if rulesCross < rulesIn-0.05 {
+		t.Errorf("rules degraded across domains: %v → %v", rulesIn, rulesCross)
+	}
+	// (4) on the unseen family the rules are at least as good as the model.
+	if rulesCross < accCross {
+		t.Errorf("rules (%v) should match or beat the learned model (%v) on the unseen workload", rulesCross, accCross)
+	}
+}

@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+)
+
+// ScheduleEntry pins a container from a given minute-of-day onward.
+type ScheduleEntry struct {
+	// StartMinute is the minute of the (simulated) day at which the entry
+	// takes effect, in [0, MinutesPerDay).
+	StartMinute int
+	// Container to use from StartMinute until the next entry.
+	Container resource.Container
+}
+
+// MinutesPerDay is the length of the scheduling day in billing intervals.
+const MinutesPerDay = 1440
+
+// Scheduled is the time-of-day scaling policy cloud platforms offer
+// ("scale up at 9am, down at 7pm"): an application-agnostic baseline that
+// works exactly as well as the operator's guess about the workload's clock.
+// It reacts to nothing — bursts that ignore the schedule are served by
+// whatever the schedule says.
+type Scheduled struct {
+	entries []ScheduleEntry
+	cur     resource.Container
+	minute  int
+}
+
+// NewScheduled creates the policy from schedule entries (any order; they
+// are sorted by StartMinute). At least one entry is required; the entry
+// with the largest StartMinute wraps around midnight.
+func NewScheduled(entries []ScheduleEntry) (*Scheduled, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("policy: schedule requires at least one entry")
+	}
+	es := append([]ScheduleEntry(nil), entries...)
+	sort.Slice(es, func(a, b int) bool { return es[a].StartMinute < es[b].StartMinute })
+	for i, e := range es {
+		if e.StartMinute < 0 || e.StartMinute >= MinutesPerDay {
+			return nil, fmt.Errorf("policy: schedule entry %d start %d outside the day", i, e.StartMinute)
+		}
+		if i > 0 && e.StartMinute == es[i-1].StartMinute {
+			return nil, fmt.Errorf("policy: duplicate schedule start %d", e.StartMinute)
+		}
+	}
+	p := &Scheduled{entries: es}
+	p.cur = p.at(0)
+	return p, nil
+}
+
+// at returns the scheduled container for a minute of day.
+func (p *Scheduled) at(minuteOfDay int) resource.Container {
+	// The last entry not after the minute; before the first entry, the
+	// schedule wraps to the last entry of the previous day.
+	c := p.entries[len(p.entries)-1].Container
+	for _, e := range p.entries {
+		if e.StartMinute <= minuteOfDay {
+			c = e.Container
+		}
+	}
+	return c
+}
+
+// Name implements Policy.
+func (p *Scheduled) Name() string { return "Sched" }
+
+// Container implements Policy.
+func (p *Scheduled) Container() resource.Container { return p.cur }
+
+// Observe implements Policy: advance the clock one billing interval and
+// follow the schedule.
+func (p *Scheduled) Observe(telemetry.Snapshot) Decision {
+	p.minute++
+	next := p.at(p.minute % MinutesPerDay)
+	changed := next.Name != p.cur.Name
+	p.cur = next
+	return Decision{Target: next, Changed: changed}
+}

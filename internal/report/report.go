@@ -1,0 +1,267 @@
+// Package report renders experiment results in the shape the paper reports
+// them: per-policy latency/cost comparison tables (Figures 9–12), the
+// drill-down series behind Figure 13, fleet-analysis summaries (Figure 2),
+// wait-distribution tables (Figures 4 and 6), ASCII time-series charts, and
+// CSV exports for external plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"daasscale/internal/fleet"
+	"daasscale/internal/sim"
+	"daasscale/internal/stats"
+	"daasscale/internal/telemetry"
+)
+
+// ComparisonTable writes the per-policy table of one experiment in the
+// paper's format: 95th-percentile latency, average cost per billing
+// interval, and resize activity.
+func ComparisonTable(w io.Writer, title string, comp sim.Comparison) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "latency goal: p95 ≤ %.0f ms\n", comp.GoalMs)
+	fmt.Fprintf(w, "%-6s  %12s  %12s  %14s  %8s  %7s\n",
+		"policy", "p95 (ms)", "avg (ms)", "cost/interval", "changes", "meets")
+	for _, r := range comp.Results {
+		meets := "yes"
+		if !r.MeetsGoal(comp.GoalMs) {
+			meets = "NO"
+		}
+		fmt.Fprintf(w, "%-6s  %12.1f  %12.1f  %14.2f  %7.1f%%  %7s\n",
+			r.Policy, r.P95Ms, r.AvgMs, r.AvgCostPerInterval, r.ChangeFraction*100, meets)
+	}
+	if auto, ok := comp.ByPolicy("Auto"); ok {
+		fmt.Fprintf(w, "cost ratios vs Auto:")
+		for _, r := range comp.Results {
+			if r.Policy == "Auto" || auto.AvgCostPerInterval == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %s %.2fx", r.Policy, r.AvgCostPerInterval/auto.AvgCostPerInterval)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Drilldown writes the Figure 13 view of one run: container size as a
+// fraction of the server, CPU utilization, performance factor, and the
+// dominant wait class, per interval (sub-sampled to at most maxRows rows).
+func Drilldown(w io.Writer, r sim.Result, maxRows int) {
+	if maxRows <= 0 {
+		maxRows = 40
+	}
+	step := 1
+	if len(r.Series) > maxRows {
+		step = len(r.Series) / maxRows
+	}
+	fmt.Fprintf(w, "drill-down: %s on %s × %s\n", r.Policy, r.Workload, r.Trace)
+	fmt.Fprintf(w, "%8s  %-5s  %10s  %9s  %9s  %s\n",
+		"minute", "cont", "cpu-max%", "cpu-use%", "perf", "dominant wait")
+	for i := 0; i < len(r.Series); i += step {
+		pt := r.Series[i]
+		perf := "   -"
+		if !math.IsNaN(pt.PerformanceFactor) {
+			perf = fmt.Sprintf("%+.0f", pt.PerformanceFactor)
+		}
+		fmt.Fprintf(w, "%8d  %-5s  %9.1f%%  %8.1f%%  %9s  %s\n",
+			pt.Interval, pt.Container, pt.ContainerCPUFrac*100, pt.CPUUtilFrac*100,
+			perf, dominantWait(pt))
+	}
+}
+
+// dominantWait names the wait class with the largest share in the interval.
+func dominantWait(pt sim.IntervalPoint) string {
+	best := telemetry.WaitSystem
+	for _, wc := range telemetry.WaitClasses {
+		if pt.WaitPct[wc] > pt.WaitPct[best] {
+			best = wc
+		}
+	}
+	return fmt.Sprintf("%s (%.0f%%)", best, pt.WaitPct[best]*100)
+}
+
+// WaitMixTable writes the Figure 13(c) percentage-wait breakdown,
+// aggregated over the run (median share per class).
+func WaitMixTable(w io.Writer, r sim.Result) {
+	fmt.Fprintf(w, "wait mix: %s on %s × %s (median share per class)\n", r.Policy, r.Workload, r.Trace)
+	for _, wc := range telemetry.WaitClasses {
+		xs := make([]float64, len(r.Series))
+		for i, pt := range r.Series {
+			xs[i] = pt.WaitPct[wc]
+		}
+		fmt.Fprintf(w, "  %-7s %6.1f%%\n", wc, stats.Median(xs)*100)
+	}
+}
+
+// FleetSummary writes the Figure 2 analysis in the paper's terms.
+func FleetSummary(w io.Writer, a fleet.Analysis) {
+	fmt.Fprintf(w, "fleet analysis: %d tenants, %d change events\n", a.Tenants, a.TotalChanges)
+	fmt.Fprintf(w, "  IEI within 60 min:            %5.1f%%  (paper: ≈86%%)\n", a.IEIWithin60Min*100)
+	for _, m := range []float64{120, 360, 720, 1440} {
+		fmt.Fprintf(w, "  IEI within %4.0f min:           %5.1f%%\n", m, stats.CDFAt(a.IEICDF, m)*100)
+	}
+	fmt.Fprintf(w, "  tenants ≥1 change/day:        %5.1f%%  (paper: >78%%)\n", a.FracAtLeastOnePerDay*100)
+	fmt.Fprintf(w, "  tenants ≥6 changes/day:       %5.1f%%  (paper: >52%%)\n", a.FracAtLeastSixPerDay*100)
+	fmt.Fprintf(w, "  tenants >24 changes/day:      %5.1f%%  (paper: ≈28%%)\n", a.FracMoreThan24PerDay*100)
+	fmt.Fprintf(w, "  1-step resizes:               %5.1f%%  (paper: ≈90%%)\n", a.OneStepShare*100)
+	fmt.Fprintf(w, "  ≤2-step resizes:              %5.1f%%  (paper: ≈98%%)\n", a.AtMostTwoStepsShare*100)
+	fmt.Fprintf(w, "  changes/day histogram (bucket upper edges 1,2,3,6,12,24,∞):\n   ")
+	for _, b := range a.ChangesPerDayHist {
+		fmt.Fprintf(w, " %d", b.Count)
+	}
+	fmt.Fprintln(w)
+}
+
+// WaitDistributionTable writes the Figure 6 percentile view for one
+// resource: wait magnitudes and percentage waits at low vs high
+// utilization.
+func WaitDistributionTable(w io.Writer, d fleet.WaitDistributions) {
+	fmt.Fprintf(w, "wait distributions for %s (low util <30%%: %d samples, high util >70%%: %d samples)\n",
+		d.Kind, len(d.LowUtilWaitMs), len(d.HighUtilWaitMs))
+	fmt.Fprintf(w, "  %-12s %12s %12s\n", "percentile", "low-util ms", "high-util ms")
+	for _, q := range []float64{0.5, 0.75, 0.9, 0.95} {
+		fmt.Fprintf(w, "  p%-11.0f %12.0f %12.0f\n", q*100,
+			stats.Quantile(d.LowUtilWaitMs, q), stats.Quantile(d.HighUtilWaitMs, q))
+	}
+	fmt.Fprintf(w, "  separation (high p75 / low p90): %.1fx\n", d.Separation())
+	fmt.Fprintf(w, "  %%-wait medians: low %.0f%%, high %.0f%%\n",
+		stats.Median(d.LowUtilWaitPct)*100, stats.Median(d.HighUtilWaitPct)*100)
+}
+
+// ASCIIChart renders a time series as a fixed-size ASCII chart — enough to
+// eyeball the Figure 8 trace shapes and the Figure 13/14 series in a
+// terminal.
+func ASCIIChart(w io.Writer, title string, ys []float64, width, height int) {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 12
+	}
+	fmt.Fprintln(w, title)
+	if len(ys) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	// Downsample to width columns (max within each bucket, so spikes stay
+	// visible).
+	cols := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(ys) / width
+		hi := (c + 1) * len(ys) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := math.Inf(-1)
+		for i := lo; i < hi && i < len(ys); i++ {
+			if ys[i] > m {
+				m = ys[i]
+			}
+		}
+		cols[c] = m
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, v := range cols {
+		minY = math.Min(minY, v)
+		maxY = math.Max(maxY, v)
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		level := int((v - minY) / (maxY - minY) * float64(height-1))
+		for r := 0; r <= level; r++ {
+			grid[height-1-r][c] = '#'
+		}
+	}
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.1f ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.1f ", minY)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+}
+
+// SeriesCSV exports a run's per-interval series for external plotting.
+func SeriesCSV(w io.Writer, series []sim.IntervalPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{"interval", "container", "step", "cost", "container_cpu_frac",
+		"cpu_util_frac", "offered_rps", "avg_ms", "p95_ms", "performance_factor",
+		"memory_used_mb", "physical_reads", "balloon_target_mb"}
+	for _, wc := range telemetry.WaitClasses {
+		header = append(header, "waitpct_"+wc.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+	for _, pt := range series {
+		row := []string{
+			strconv.Itoa(pt.Interval), pt.Container, strconv.Itoa(pt.Step),
+			f(pt.Cost), f(pt.ContainerCPUFrac), f(pt.CPUUtilFrac), f(pt.OfferedRPS),
+			f(pt.AvgMs), f(pt.P95Ms), f(pt.PerformanceFactor),
+			f(pt.MemoryUsedMB), f(pt.PhysicalReads), f(pt.BalloonTargetMB),
+		}
+		for _, wc := range telemetry.WaitClasses {
+			row = append(row, f(pt.WaitPct[wc]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CDFTable writes selected points of a CDF (value, cumulative fraction).
+func CDFTable(w io.Writer, title string, cdf []stats.CDFPoint, at []float64) {
+	fmt.Fprintln(w, title)
+	for _, v := range at {
+		fmt.Fprintf(w, "  ≤ %8.0f: %5.1f%%\n", v, stats.CDFAt(cdf, v)*100)
+	}
+}
+
+// MarkdownComparison writes the per-policy table of one experiment as a
+// GitHub-flavored markdown table — the building block for regenerating an
+// EXPERIMENTS.md-style report from live runs.
+func MarkdownComparison(w io.Writer, title string, comp sim.Comparison) {
+	fmt.Fprintf(w, "## %s\n\n", title)
+	fmt.Fprintf(w, "Latency goal: p95 ≤ %.0f ms.\n\n", comp.GoalMs)
+	fmt.Fprintln(w, "| policy | p95 (ms) | avg (ms) | cost/interval | resizes | meets goal |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	for _, r := range comp.Results {
+		meets := "✓"
+		if !r.MeetsGoal(comp.GoalMs) {
+			meets = "✗"
+		}
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %.2f | %.1f%% | %s |\n",
+			r.Policy, r.P95Ms, r.AvgMs, r.AvgCostPerInterval, r.ChangeFraction*100, meets)
+	}
+	if auto, ok := comp.ByPolicy("Auto"); ok && auto.AvgCostPerInterval > 0 {
+		fmt.Fprintf(w, "\nCost ratios vs Auto:")
+		for _, r := range comp.Results {
+			if r.Policy == "Auto" {
+				continue
+			}
+			fmt.Fprintf(w, " %s %.2f×", r.Policy, r.AvgCostPerInterval/auto.AvgCostPerInterval)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,188 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"daasscale/internal/fleet"
+	"daasscale/internal/resource"
+	"daasscale/internal/sim"
+	"daasscale/internal/stats"
+	"daasscale/internal/telemetry"
+)
+
+func sampleResult() sim.Result {
+	r := sim.Result{
+		Policy: "Auto", Workload: "tpcc", Trace: "trace4",
+		Intervals: 4, TotalCost: 120, AvgCostPerInterval: 30,
+		P95Ms: 110, AvgMs: 40, Changes: 1, ChangeFraction: 0.25,
+	}
+	for i := 0; i < 4; i++ {
+		pt := sim.IntervalPoint{
+			Interval: i, Container: "C2", Step: 2, Cost: 30,
+			ContainerCPUFrac: 0.0625, CPUUtilFrac: 0.01,
+			OfferedRPS: 100, AvgMs: 40, P95Ms: 110, PerformanceFactor: 10,
+			MemoryUsedMB: 2048, PhysicalReads: 100,
+		}
+		pt.WaitPct[telemetry.WaitLock] = 0.9
+		pt.WaitPct[telemetry.WaitCPU] = 0.1
+		r.Series = append(r.Series, pt)
+	}
+	return r
+}
+
+func TestComparisonTable(t *testing.T) {
+	comp := sim.Comparison{GoalMs: 130, Results: []sim.Result{
+		{Policy: "Max", P95Ms: 100, AvgMs: 30, AvgCostPerInterval: 270},
+		{Policy: "Util", P95Ms: 120, AvgMs: 50, AvgCostPerInterval: 60},
+		{Policy: "Auto", P95Ms: 110, AvgMs: 40, AvgCostPerInterval: 30},
+		{Policy: "Avg", P95Ms: 500, AvgMs: 200, AvgCostPerInterval: 15},
+	}}
+	var buf bytes.Buffer
+	ComparisonTable(&buf, "Figure 10", comp)
+	out := buf.String()
+	for _, want := range []string{"Figure 10", "p95 ≤ 130", "Max", "Util", "Auto", "NO", "cost ratios vs Auto:", "Util 2.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDrilldownAndWaitMix(t *testing.T) {
+	var buf bytes.Buffer
+	Drilldown(&buf, sampleResult(), 2)
+	out := buf.String()
+	if !strings.Contains(out, "C2") || !strings.Contains(out, "lock (90%)") {
+		t.Errorf("drilldown missing content:\n%s", out)
+	}
+	buf.Reset()
+	Drilldown(&buf, sampleResult(), 0) // default rows
+	if !strings.Contains(buf.String(), "drill-down") {
+		t.Error("default drilldown failed")
+	}
+	buf.Reset()
+	WaitMixTable(&buf, sampleResult())
+	if !strings.Contains(buf.String(), "lock") || !strings.Contains(buf.String(), "90.0%") {
+		t.Errorf("wait mix missing:\n%s", buf.String())
+	}
+}
+
+func TestDrilldownNaNPerformance(t *testing.T) {
+	r := sampleResult()
+	for i := range r.Series {
+		r.Series[i].PerformanceFactor = math.NaN()
+	}
+	var buf bytes.Buffer
+	Drilldown(&buf, r, 2)
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("NaN performance factor should render as a dash")
+	}
+}
+
+func TestFleetSummary(t *testing.T) {
+	f := fleet.GenerateFleet(30, 3, 1)
+	a := fleet.Analyze(f, resource.LockStepCatalog())
+	var buf bytes.Buffer
+	FleetSummary(&buf, a)
+	out := buf.String()
+	for _, want := range []string{"fleet analysis", "IEI within 60 min", "1-step resizes", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWaitDistributionTable(t *testing.T) {
+	d := fleet.WaitDistributions{
+		LowUtilWaitMs:   []float64{10, 20, 30},
+		HighUtilWaitMs:  []float64{1000, 2000, 4000},
+		LowUtilWaitPct:  []float64{0.1, 0.2, 0.1},
+		HighUtilWaitPct: []float64{0.7, 0.8, 0.9},
+	}
+	var buf bytes.Buffer
+	WaitDistributionTable(&buf, d)
+	out := buf.String()
+	if !strings.Contains(out, "separation") || !strings.Contains(out, "p75") {
+		t.Errorf("distribution table missing content:\n%s", out)
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	ys := make([]float64, 300)
+	for i := range ys {
+		ys[i] = float64(i % 50)
+	}
+	var buf bytes.Buffer
+	ASCIIChart(&buf, "test chart", ys, 40, 8)
+	out := buf.String()
+	if !strings.Contains(out, "test chart") || !strings.Contains(out, "#") {
+		t.Errorf("chart missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // title + 8 rows
+		t.Errorf("chart has %d lines, want 9", len(lines))
+	}
+	buf.Reset()
+	ASCIIChart(&buf, "empty", nil, 0, 0)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	buf.Reset()
+	ASCIIChart(&buf, "flat", []float64{5, 5, 5}, 10, 4)
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("flat chart should still render bars")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, sampleResult().Series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "waitpct_lock") {
+		t.Errorf("header missing wait columns: %s", lines[0])
+	}
+	// NaN performance factors export as empty cells.
+	r := sampleResult()
+	r.Series[0].PerformanceFactor = math.NaN()
+	buf.Reset()
+	if err := SeriesCSV(&buf, r.Series[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN must not leak into CSV")
+	}
+}
+
+func TestCDFTable(t *testing.T) {
+	cdf := stats.CDF([]float64{5, 10, 20, 40})
+	var buf bytes.Buffer
+	CDFTable(&buf, "IEI", cdf, []float64{10, 60})
+	out := buf.String()
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "100.0%") {
+		t.Errorf("CDF table wrong:\n%s", out)
+	}
+}
+
+func TestMarkdownComparison(t *testing.T) {
+	comp := sim.Comparison{GoalMs: 130, Results: []sim.Result{
+		{Policy: "Max", P95Ms: 100, AvgMs: 30, AvgCostPerInterval: 270},
+		{Policy: "Auto", P95Ms: 110, AvgMs: 40, AvgCostPerInterval: 30},
+		{Policy: "Avg", P95Ms: 500, AvgMs: 200, AvgCostPerInterval: 15},
+	}}
+	var buf bytes.Buffer
+	MarkdownComparison(&buf, "Figure 10", comp)
+	out := buf.String()
+	for _, want := range []string{"## Figure 10", "| policy |", "| Max | 100.0", "✗", "Max 9.00×"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+
+	"daasscale/internal/engine"
+	"daasscale/internal/estimator"
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+	"daasscale/internal/workload"
+)
+
+// BallooningPoint is one billing interval of the Figure 14 series.
+type BallooningPoint struct {
+	Interval      int
+	MemoryUsedMB  float64
+	AvgMs         float64
+	P95Ms         float64
+	PhysicalReads float64
+	// BalloonTargetMB is the active probe target (0 when none).
+	BalloonTargetMB float64
+}
+
+// BallooningArm is one arm of the Figure 14 experiment.
+type BallooningArm struct {
+	Name   string
+	Series []BallooningPoint
+	// Aborted reports whether the ballooning probe aborted (with-balloon
+	// arm) or the naive shrink was reverted (without-balloon arm).
+	Aborted bool
+	// ShrunkAt and RevertedAt are the intervals at which memory was first
+	// reduced and restored (−1 when the event never happened).
+	ShrunkAt, RevertedAt int
+}
+
+// BaselineAvgMs returns the average latency before the shrink began.
+func (a BallooningArm) BaselineAvgMs() float64 {
+	var sum float64
+	n := 0
+	for _, pt := range a.Series {
+		if a.ShrunkAt >= 0 && pt.Interval >= a.ShrunkAt {
+			break
+		}
+		if pt.AvgMs > 0 {
+			sum += pt.AvgMs
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PeakAvgMs returns the worst per-interval average latency in the arm.
+func (a BallooningArm) PeakAvgMs() float64 {
+	var m float64
+	for _, pt := range a.Series {
+		if pt.AvgMs > m {
+			m = pt.AvgMs
+		}
+	}
+	return m
+}
+
+// MinMemoryMB returns the lowest memory-in-use the arm reached.
+func (a BallooningArm) MinMemoryMB() float64 {
+	if len(a.Series) == 0 {
+		return 0
+	}
+	m := a.Series[0].MemoryUsedMB
+	for _, pt := range a.Series {
+		if pt.MemoryUsedMB < m {
+			m = pt.MemoryUsedMB
+		}
+	}
+	return m
+}
+
+// BallooningResult holds both arms of Figure 14.
+type BallooningResult struct {
+	With    BallooningArm
+	Without BallooningArm
+	// WorkingSetMB is the workload's hot-set size (the paper's ≈3GB).
+	WorkingSetMB float64
+}
+
+// BallooningSpec parameterizes the Figure 14 experiment.
+type BallooningSpec struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Intervals is the run length (0 → 120).
+	Intervals int
+	// ShrinkAt is the interval at which low memory demand is (incorrectly)
+	// concluded (0 → 30).
+	ShrinkAt int
+	// RPS is the steady offered load (0 → 120).
+	RPS float64
+}
+
+// RunBallooningExperiment reproduces Figure 14: a CPUIO workload with a
+// ≈3GB working set under steady demand, where low memory demand has been
+// (incorrectly) estimated. Without ballooning, memory drops to the next
+// smaller container at once: the working set no longer fits, disk I/O and
+// latency explode (≈2 orders of magnitude), the system reverts, and the
+// slow cache re-warm prolongs the damage. With ballooning, memory shrinks
+// gradually and the probe aborts as soon as I/O rises — near the working
+// set — with minimal latency impact.
+func RunBallooningExperiment(spec BallooningSpec) (BallooningResult, error) {
+	if spec.Intervals == 0 {
+		spec.Intervals = 120
+	}
+	if spec.ShrinkAt == 0 {
+		spec.ShrinkAt = 30
+	}
+	if spec.RPS == 0 {
+		spec.RPS = 80
+	}
+	w := workload.CPUIO(workload.CPUIOConfig{
+		CPUWeight: 1, IOWeight: 1, LogWeight: 0.5,
+		WorkingSetMB: 3 * 1024, HotspotFraction: 0.99,
+	})
+	cat := resource.LockStepCatalog()
+	cont, _ := cat.ByName("C2") // 4GB: the working set fits with little slack
+	next := cat.AtStep(cont.Step - 1)
+	nextMem := next.Alloc[resource.Memory] // 2GB: below the working set
+
+	res := BallooningResult{WorkingSetMB: w.WorkingSetMB}
+
+	runArm := func(withBalloon bool) (BallooningArm, error) {
+		arm := BallooningArm{ShrunkAt: -1, RevertedAt: -1}
+		if withBalloon {
+			arm.Name = "Ballooning"
+		} else {
+			arm.Name = "No Ballooning"
+		}
+		eng, err := engine.New(w, cont, spec.Seed, engine.Options{WarmStart: true})
+		if err != nil {
+			return arm, err
+		}
+		gen := workload.NewGenerator(spec.Seed+1000, 0.08)
+		tm := telemetry.NewManager(5)
+		balloon := estimator.NewBalloon(estimator.DefaultBalloonConfig())
+		badStreak := 0
+
+		for i := 0; i < spec.Intervals; i++ {
+			for t := 0; t < eng.TicksPerInterval(); t++ {
+				eng.Tick(gen.Offered(spec.RPS))
+			}
+			snap := eng.EndInterval()
+			tm.Observe(snap)
+			res := BallooningPoint{
+				Interval:        i,
+				MemoryUsedMB:    snap.MemoryUsedMB,
+				AvgMs:           snap.AvgLatencyMs,
+				P95Ms:           snap.P95LatencyMs,
+				PhysicalReads:   snap.PhysicalReads,
+				BalloonTargetMB: eng.MemoryTargetMB(),
+			}
+			arm.Series = append(arm.Series, res)
+
+			if !withBalloon {
+				// Naive arm: act on the incorrect low-memory estimate at
+				// ShrinkAt; revert once unmet disk I/O demand shows up in
+				// the telemetry (the paper: "Auto notices this increase in
+				// latency due to unmet disk I/O demand and reverts").
+				switch {
+				case i == spec.ShrinkAt:
+					eng.SetMemoryTargetMB(nextMem)
+					arm.ShrunkAt = i
+				case arm.ShrunkAt >= 0 && arm.RevertedAt < 0:
+					sig, ok := tm.Signals()
+					if ok && sig.Current.WaitMs[telemetry.WaitMemory] > 20_000 {
+						badStreak++
+					}
+					if badStreak >= 2 { // reaction delay of the control loop
+						eng.SetMemoryTargetMB(0)
+						arm.RevertedAt = i
+						arm.Aborted = true
+					}
+				}
+				continue
+			}
+
+			// Ballooning arm: the probe starts at ShrinkAt and follows the
+			// protocol; the engine tracks the probe's target.
+			if i >= spec.ShrinkAt && arm.RevertedAt < 0 {
+				sig, ok := tm.Signals()
+				if !ok {
+					continue
+				}
+				bd := balloon.Step(sig, true, nextMem, next.Alloc[resource.DiskIO])
+				eng.SetMemoryTargetMB(bd.TargetMB)
+				if arm.ShrunkAt < 0 && bd.TargetMB > 0 {
+					arm.ShrunkAt = i
+				}
+				if bd.Aborted {
+					arm.Aborted = true
+					arm.RevertedAt = i
+				}
+				if bd.MemoryDemandLow {
+					// Would be a genuine scale-down; does not happen with a
+					// 3GB working set.
+					arm.RevertedAt = i
+				}
+			}
+		}
+		return arm, nil
+	}
+
+	var err error
+	if res.Without, err = runArm(false); err != nil {
+		return res, fmt.Errorf("sim: ballooning (naive arm): %w", err)
+	}
+	if res.With, err = runArm(true); err != nil {
+		return res, fmt.Errorf("sim: ballooning (probe arm): %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+
+	"daasscale/internal/budget"
+	"daasscale/internal/core"
+	"daasscale/internal/engine"
+	"daasscale/internal/estimator"
+	"daasscale/internal/policy"
+	"daasscale/internal/resource"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+// ComparisonSpec describes one of the paper's end-to-end experiments: a
+// workload × trace pair evaluated under all six policies (Max, Peak, Avg,
+// Trace, Util, Auto) with a latency goal expressed as a multiple of the
+// Max-container p95 (Section 7.2: 1.25× or 5×).
+type ComparisonSpec struct {
+	// Catalog of containers (nil → the default lock-step catalog).
+	Catalog *resource.Catalog
+	// Workload and Trace select the experiment. Required.
+	Workload *workload.Workload
+	Trace    *trace.Trace
+	// GoalFactor sets the latency goal to GoalFactor × (Max run p95).
+	// Required (> 1).
+	GoalFactor float64
+	// Seed makes the whole comparison reproducible.
+	Seed int64
+	// EngineOpts tunes the substrate (zero → defaults).
+	EngineOpts engine.Options
+	// Sensitivity for Auto (default MEDIUM).
+	Sensitivity estimator.Sensitivity
+	// Thresholds for Auto's demand estimator (zero value → defaults; pass
+	// fleet.Calibrate's output to use fleet-calibrated thresholds).
+	Thresholds estimator.Thresholds
+	// AutoBudget optionally constrains Auto (nil → unlimited, the paper's
+	// default for these experiments).
+	AutoBudget *budget.Manager
+	// DisableBallooning turns Auto's memory probe off.
+	DisableBallooning bool
+}
+
+// Comparison is the outcome of one experiment: the goal that was derived
+// and one Result per policy.
+type Comparison struct {
+	GoalMs  float64
+	Results []Result
+}
+
+// ByPolicy returns the result for the named policy.
+func (c Comparison) ByPolicy(name string) (Result, bool) {
+	for _, r := range c.Results {
+		if r.Policy == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// MustByPolicy is ByPolicy that panics on a missing policy (for benches).
+func (c Comparison) MustByPolicy(name string) Result {
+	r, ok := c.ByPolicy(name)
+	if !ok {
+		panic("sim: no result for policy " + name)
+	}
+	return r
+}
+
+// RunComparison executes the full six-policy experiment. The offline
+// baselines (Peak, Avg, Trace) are derived from a Max run of the identical
+// workload, then every policy replays the exact same offered load
+// (deterministic generator), matching the paper's methodology.
+func RunComparison(cs ComparisonSpec) (Comparison, error) {
+	if cs.Workload == nil || cs.Trace == nil {
+		return Comparison{}, fmt.Errorf("sim: Workload and Trace are required")
+	}
+	if cs.GoalFactor <= 1 {
+		return Comparison{}, fmt.Errorf("sim: GoalFactor must exceed 1, got %v", cs.GoalFactor)
+	}
+	cat := cs.Catalog
+	if cat == nil {
+		cat = resource.LockStepCatalog()
+	}
+	// Databases are measured warmed up, as in the paper's runs; without
+	// this every online policy pays an artificial cold-start I/O storm.
+	cs.EngineOpts.WarmStart = true
+	off, err := DeriveOffline(cat, cs.Workload, cs.Trace, cs.Seed, cs.EngineOpts)
+	if err != nil {
+		return Comparison{}, err
+	}
+	goal := cs.GoalFactor * off.MaxResult.P95Ms
+	comp := Comparison{GoalMs: goal}
+	maxRes := off.MaxResult
+	maxRes.GoalMs = goal
+	comp.Results = append(comp.Results, maxRes)
+
+	runOne := func(p policy.Policy) error {
+		r, err := Run(Spec{
+			Workload:   cs.Workload,
+			Trace:      cs.Trace,
+			Policy:     p,
+			Seed:       cs.Seed,
+			EngineOpts: cs.EngineOpts,
+			GoalMs:     goal,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: policy %s: %w", p.Name(), err)
+		}
+		comp.Results = append(comp.Results, r)
+		return nil
+	}
+
+	if err := runOne(policy.NewStatic("Peak", off.Peak)); err != nil {
+		return Comparison{}, err
+	}
+	if err := runOne(policy.NewStatic("Avg", off.Avg)); err != nil {
+		return Comparison{}, err
+	}
+	oracle, err := policy.NewTraceOracle(off.Schedule)
+	if err != nil {
+		return Comparison{}, err
+	}
+	if err := runOne(oracle); err != nil {
+		return Comparison{}, err
+	}
+	util, err := policy.NewUtil(cat, cat.Smallest(), policy.DefaultUtilConfig(goal))
+	if err != nil {
+		return Comparison{}, err
+	}
+	if err := runOne(util); err != nil {
+		return Comparison{}, err
+	}
+	scaler, err := core.New(core.Config{
+		Catalog:           cat,
+		Initial:           cat.Smallest(),
+		Goal:              core.LatencyGoal{Kind: core.GoalP95, Ms: goal},
+		Budget:            cs.AutoBudget,
+		Sensitivity:       cs.Sensitivity,
+		Thresholds:        cs.Thresholds,
+		DisableBallooning: cs.DisableBallooning,
+	})
+	if err != nil {
+		return Comparison{}, err
+	}
+	if err := runOne(policy.NewAuto(scaler)); err != nil {
+		return Comparison{}, err
+	}
+	return comp, nil
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+
+	"daasscale/internal/core"
+	"daasscale/internal/engine"
+	"daasscale/internal/fabric"
+	"daasscale/internal/resource"
+	"daasscale/internal/stats"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+// TenantSpec describes one tenant in a multi-tenant cluster run.
+type TenantSpec struct {
+	// ID names the tenant in the fabric.
+	ID string
+	// Workload and Trace drive the tenant's engine. Required.
+	Workload *workload.Workload
+	Trace    *trace.Trace
+	// GoalMs is the tenant's p95 latency goal (0 = demand-driven only).
+	GoalMs float64
+	// Seed makes the tenant's run reproducible.
+	Seed int64
+}
+
+// TenantResult summarizes one tenant of a multi-tenant run.
+type TenantResult struct {
+	ID                 string
+	TotalCost          float64
+	AvgCostPerInterval float64
+	P95Ms              float64
+	Changes            int
+	// RefusedResizes counts scale-ups the fabric could not place; the
+	// tenant kept its container for those intervals.
+	RefusedResizes int
+}
+
+// MultiTenantResult is the outcome of a cluster run.
+type MultiTenantResult struct {
+	Tenants []TenantResult
+	// Migrations and Refusals are the fabric's totals.
+	Migrations int
+	Refusals   int
+	// PeakClusterCPUFrac is the highest CPU allocation fraction any server
+	// reached.
+	PeakClusterCPUFrac float64
+}
+
+// MultiTenantSpec describes a cluster of auto-scaled tenants sharing a
+// fixed set of database servers through the management fabric — the
+// paper's Figure 3 deployment: each server hosts a set of containers, the
+// fabric decides co-location, and every resize the auto-scaling logic
+// recommends is executed (or refused) by the fabric.
+type MultiTenantSpec struct {
+	// Catalog of containers (nil → default lock-step catalog).
+	Catalog *resource.Catalog
+	// Tenants to host. Required, non-empty.
+	Tenants []TenantSpec
+	// Servers is the cluster size (0 → enough servers for one largest
+	// container per two tenants, at least one).
+	Servers int
+	// Policy is the fabric's placement policy.
+	Policy fabric.PlacementPolicy
+	// EngineOpts tunes the substrate.
+	EngineOpts engine.Options
+}
+
+// RunMultiTenant executes the cluster simulation. Each tenant gets its own
+// engine (the container abstraction isolates tenants from each other) and
+// its own auto-scaler; all resizes flow through the shared fabric, which
+// may migrate tenants between servers or refuse a resize outright when the
+// cluster has no room — in which case the tenant keeps its container and
+// the controller reconciles.
+func RunMultiTenant(spec MultiTenantSpec) (MultiTenantResult, error) {
+	if len(spec.Tenants) == 0 {
+		return MultiTenantResult{}, fmt.Errorf("sim: at least one tenant required")
+	}
+	cat := spec.Catalog
+	if cat == nil {
+		cat = resource.LockStepCatalog()
+	}
+	servers := spec.Servers
+	if servers == 0 {
+		servers = (len(spec.Tenants) + 1) / 2
+	}
+	fab, err := fabric.New(servers, cat.Largest().Alloc, spec.Policy)
+	if err != nil {
+		return MultiTenantResult{}, err
+	}
+
+	type tenantState struct {
+		spec    TenantSpec
+		eng     *engine.Engine
+		scaler  *core.AutoScaler
+		gen     *workload.Generator
+		samples []float64
+		res     TenantResult
+	}
+	states := make([]*tenantState, 0, len(spec.Tenants))
+	intervals := 0
+	for _, ts := range spec.Tenants {
+		if ts.Workload == nil || ts.Trace == nil {
+			return MultiTenantResult{}, fmt.Errorf("sim: tenant %q needs a workload and a trace", ts.ID)
+		}
+		if ts.Trace.Len() > intervals {
+			intervals = ts.Trace.Len()
+		}
+		goal := core.LatencyGoal{}
+		if ts.GoalMs > 0 {
+			goal = core.LatencyGoal{Kind: core.GoalP95, Ms: ts.GoalMs}
+		}
+		scaler, err := core.New(core.Config{Catalog: cat, Initial: cat.Smallest(), Goal: goal})
+		if err != nil {
+			return MultiTenantResult{}, err
+		}
+		eng, err := engine.New(ts.Workload, scaler.Container(), ts.Seed, spec.EngineOpts)
+		if err != nil {
+			return MultiTenantResult{}, err
+		}
+		if err := fab.Place(ts.ID, scaler.Container()); err != nil {
+			return MultiTenantResult{}, fmt.Errorf("sim: placing tenant %q: %w", ts.ID, err)
+		}
+		st := &tenantState{
+			spec:   ts,
+			eng:    eng,
+			scaler: scaler,
+			gen:    workload.NewGenerator(ts.Seed+1000, 0.1),
+			res:    TenantResult{ID: ts.ID},
+		}
+		eng.SetLatencySink(func(ms float64) { st.samples = append(st.samples, ms) })
+		states = append(states, st)
+	}
+
+	out := MultiTenantResult{}
+	for m := 0; m < intervals; m++ {
+		for _, st := range states {
+			target := st.spec.Trace.At(m)
+			if m >= st.spec.Trace.Len() {
+				target = 0 // this tenant's trace ended; it idles
+			}
+			for t := 0; t < st.eng.TicksPerInterval(); t++ {
+				st.eng.Tick(st.gen.Offered(target))
+			}
+			snap := st.eng.EndInterval()
+			st.res.TotalCost += snap.Cost
+
+			d := st.scaler.Observe(snap)
+			if d.Changed {
+				if _, err := fab.Resize(st.spec.ID, d.Target); err != nil {
+					// Refused: the tenant keeps its container; reconcile the
+					// controller with the fabric's reality.
+					cur, _ := fab.Container(st.spec.ID)
+					st.scaler.ForceContainer(cur)
+					st.res.RefusedResizes++
+				} else {
+					st.eng.SetContainer(d.Target)
+					st.res.Changes++
+				}
+			}
+			st.eng.SetMemoryTargetMB(d.BalloonTargetMB)
+		}
+		for _, u := range fab.Utilization() {
+			if u > out.PeakClusterCPUFrac {
+				out.PeakClusterCPUFrac = u
+			}
+		}
+		if err := fab.Validate(); err != nil {
+			return MultiTenantResult{}, fmt.Errorf("sim: interval %d: %w", m, err)
+		}
+	}
+	for _, st := range states {
+		if intervals > 0 {
+			st.res.AvgCostPerInterval = st.res.TotalCost / float64(intervals)
+		}
+		if len(st.samples) > 0 {
+			st.res.P95Ms = stats.Quantile(st.samples, 0.95)
+		}
+		out.Tenants = append(out.Tenants, st.res)
+	}
+	out.Migrations = fab.Migrations()
+	out.Refusals = fab.Refusals()
+	return out, nil
+}

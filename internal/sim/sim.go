@@ -1,0 +1,177 @@
+// Package sim runs end-to-end auto-scaling experiments: a workload driven
+// by a load trace executes inside the simulated engine while a policy picks
+// the container for every billing interval, exactly as in the paper's
+// evaluation (Section 7.1). The runner collects the two headline metrics —
+// monetary cost per billing interval and the 95th-percentile latency of the
+// whole run — plus the per-interval series behind the drill-down figures.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"daasscale/internal/engine"
+	"daasscale/internal/policy"
+	"daasscale/internal/resource"
+	"daasscale/internal/stats"
+	"daasscale/internal/telemetry"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+// ServerCPUms is the CPU capacity (core-ms/s) of the database server
+// hosting the containers — the largest container fills the whole server.
+// Figure 13 expresses container sizes as a percentage of this capacity.
+const ServerCPUms = 32000.0
+
+// Spec describes one experiment run.
+type Spec struct {
+	// Workload is the benchmark to execute. Required.
+	Workload *workload.Workload
+	// Trace drives the offered load (one entry per billing interval).
+	// Required.
+	Trace *trace.Trace
+	// Policy chooses containers. Required; its Container() is the initial
+	// container.
+	Policy policy.Policy
+	// Seed makes the run reproducible.
+	Seed int64
+	// EngineOpts tunes the engine model (zero value → defaults).
+	EngineOpts engine.Options
+	// Jitter is the load generator's arrival jitter (0 → 0.1).
+	Jitter float64
+	// GoalMs, when > 0, is recorded for the performance-factor series (it
+	// does not influence the run; goals live inside the policies).
+	GoalMs float64
+}
+
+// IntervalPoint is one billing interval of the drill-down series.
+type IntervalPoint struct {
+	Interval  int
+	Container string
+	Step      int
+	Cost      float64
+	// ContainerCPUFrac is the container's CPU allocation as a fraction of
+	// the server (Figure 13's "Container Max CPU").
+	ContainerCPUFrac float64
+	// CPUUtilFrac is CPU used as a fraction of the server.
+	CPUUtilFrac float64
+	OfferedRPS  float64
+	// Utilization is the per-resource utilization fraction of the interval.
+	Utilization resource.Vector
+	// UtilizationPeak is the maximum per-tick utilization in the interval.
+	UtilizationPeak resource.Vector
+	AvgMs           float64
+	P95Ms           float64
+	// PerformanceFactor is (goal − p95)/goal·100: negative values mean the
+	// goal was missed (Figure 13's secondary axis). NaN when no goal.
+	PerformanceFactor float64
+	// WaitPct is the share of waits per class (Figure 13(c)).
+	WaitPct [telemetry.NumWaitClasses]float64
+	// MemoryUsedMB and PhysicalReads feed the ballooning figure.
+	MemoryUsedMB  float64
+	PhysicalReads float64
+	// BalloonTargetMB is the active memory target (0 = none).
+	BalloonTargetMB float64
+}
+
+// Result aggregates one run.
+type Result struct {
+	Policy   string
+	Workload string
+	Trace    string
+	GoalMs   float64
+
+	Intervals          int
+	TotalCost          float64
+	AvgCostPerInterval float64
+	// P95Ms and AvgMs are computed over every request of the whole run.
+	P95Ms float64
+	AvgMs float64
+	// Changes counts container resizes; ChangeFraction is Changes divided
+	// by the number of intervals.
+	Changes        int
+	ChangeFraction float64
+
+	Series []IntervalPoint
+}
+
+// MeetsGoal reports whether the run-level p95 met the given goal.
+func (r Result) MeetsGoal(goalMs float64) bool { return r.P95Ms <= goalMs }
+
+// Run executes the experiment.
+func Run(spec Spec) (Result, error) {
+	if spec.Workload == nil || spec.Trace == nil || spec.Policy == nil {
+		return Result{}, fmt.Errorf("sim: Workload, Trace and Policy are required")
+	}
+	if spec.Jitter == 0 {
+		spec.Jitter = 0.1
+	}
+	eng, err := engine.New(spec.Workload, spec.Policy.Container(), spec.Seed, spec.EngineOpts)
+	if err != nil {
+		return Result{}, err
+	}
+	var samples []float64
+	eng.SetLatencySink(func(ms float64) { samples = append(samples, ms) })
+	gen := workload.NewGenerator(spec.Seed+1000, spec.Jitter)
+
+	res := Result{
+		Policy:   spec.Policy.Name(),
+		Workload: spec.Workload.Name,
+		Trace:    spec.Trace.Name,
+		GoalMs:   spec.GoalMs,
+	}
+	ticks := eng.TicksPerInterval()
+	for m := 0; m < spec.Trace.Len(); m++ {
+		target := spec.Trace.At(m)
+		for t := 0; t < ticks; t++ {
+			eng.Tick(gen.Offered(target))
+		}
+		snap := eng.EndInterval()
+		res.TotalCost += snap.Cost
+		cpuFrac := eng.Container().Alloc[resource.CPU] / ServerCPUms
+
+		dec := spec.Policy.Observe(snap)
+		if dec.Changed {
+			res.Changes++
+			eng.SetContainer(dec.Target)
+		}
+		eng.SetMemoryTargetMB(dec.BalloonTargetMB)
+
+		pt := IntervalPoint{
+			Interval:         snap.Interval,
+			Container:        snap.Container,
+			Step:             snap.Step,
+			Cost:             snap.Cost,
+			ContainerCPUFrac: cpuFrac,
+			CPUUtilFrac:      snap.Utilization[resource.CPU] * cpuFrac,
+			OfferedRPS:       snap.OfferedRPS,
+			Utilization:      snap.Utilization,
+			UtilizationPeak:  snap.UtilizationPeak,
+			AvgMs:            snap.AvgLatencyMs,
+			P95Ms:            snap.P95LatencyMs,
+			MemoryUsedMB:     snap.MemoryUsedMB,
+			PhysicalReads:    snap.PhysicalReads,
+			BalloonTargetMB:  dec.BalloonTargetMB,
+		}
+		if spec.GoalMs > 0 {
+			pt.PerformanceFactor = (spec.GoalMs - snap.P95LatencyMs) / spec.GoalMs * 100
+		} else {
+			pt.PerformanceFactor = math.NaN()
+		}
+		for _, wc := range telemetry.WaitClasses {
+			pt.WaitPct[wc] = snap.WaitPct(wc)
+		}
+		res.Series = append(res.Series, pt)
+	}
+	res.Intervals = spec.Trace.Len()
+	if res.Intervals > 0 {
+		res.AvgCostPerInterval = res.TotalCost / float64(res.Intervals)
+		res.ChangeFraction = float64(res.Changes) / float64(res.Intervals)
+	}
+	if len(samples) > 0 {
+		res.P95Ms = stats.Quantile(samples, 0.95)
+		res.AvgMs = stats.Mean(samples)
+	}
+	return res, nil
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"daasscale/internal/resource"
+	"daasscale/internal/stats"
+)
+
+// ResourceSignals summarizes one physical resource dimension over the
+// manager's window: robust (median) aggregates of utilization and waits,
+// the Theil–Sen trends of both, and the Spearman correlation of the
+// resource's waits with latency (Section 3.2.2: strong correlation marks
+// the resource as the likely bottleneck).
+type ResourceSignals struct {
+	// Utilization is the median fraction (0..1) of the allocation used.
+	Utilization float64
+	// UtilTrend is the robust trend of per-interval utilization.
+	UtilTrend stats.Trend
+	// WaitMs is the median per-interval wait magnitude for the resource.
+	WaitMs float64
+	// PrevWaitMs and PrevUtilization are the second-most-recent interval's
+	// values; together with the current snapshot they form the fast
+	// two-interval confirmation path for burst onsets.
+	PrevWaitMs      float64
+	PrevUtilization float64
+	// WaitPct is the median share (0..1) of total waits attributed to the
+	// resource.
+	WaitPct float64
+	// WaitTrend is the robust trend of per-interval wait magnitude.
+	WaitTrend stats.Trend
+	// WaitLatencyCorr is Spearman's ρ between the resource's waits and p95
+	// latency over the window (0 when undefined).
+	WaitLatencyCorr float64
+}
+
+// LatencySignals summarizes request latency over the window.
+type LatencySignals struct {
+	// AvgMs and P95Ms are medians of the per-interval aggregates.
+	AvgMs float64
+	P95Ms float64
+	// PrevAvgMs and PrevP95Ms are the second-most-recent interval's
+	// aggregates: together with the current snapshot they give a fast
+	// two-interval confirmation path for goal violations at burst onset,
+	// before the windowed median catches up.
+	PrevAvgMs float64
+	PrevP95Ms float64
+	// Trend is the robust trend of per-interval p95 latency.
+	Trend stats.Trend
+}
+
+// Signals is the telemetry manager's output for one decision point: every
+// signal the demand estimator consumes.
+type Signals struct {
+	// Latency aggregates the latency signals.
+	Latency LatencySignals
+	// Resources holds per-physical-resource signals, indexed by
+	// resource.Kind.
+	Resources [resource.NumKinds]ResourceSignals
+	// LogicalWaitPct is the median share of waits attributed to each
+	// logical (non-provisionable) class; indexed by WaitClass, only the
+	// lock/latch/system entries are meaningful.
+	LogicalWaitPct [NumWaitClasses]float64
+	// MemoryUsedMB is the most recent memory in use.
+	MemoryUsedMB float64
+	// PhysicalReadsMedian is the median per-interval physical reads —
+	// the ballooning controller's abort signal.
+	PhysicalReadsMedian float64
+	// OfferedRPS is the median offered load.
+	OfferedRPS float64
+	// Window is the number of intervals the signals were computed over.
+	Window int
+	// Current is the most recent snapshot.
+	Current Snapshot
+}
+
+// SteadySignals builds the Signals a manager would produce if the given
+// snapshot repeated forever: medians, previous values and the current
+// snapshot all equal it, and no trends are significant. Useful for
+// evaluating the estimator on individual labeled observations.
+func SteadySignals(s Snapshot) Signals {
+	var sig Signals
+	sig.Window = MinIntervalsForSignals
+	sig.Current = s
+	sig.MemoryUsedMB = s.MemoryUsedMB
+	sig.OfferedRPS = s.OfferedRPS
+	sig.PhysicalReadsMedian = s.PhysicalReads
+	sig.Latency.AvgMs = s.AvgLatencyMs
+	sig.Latency.P95Ms = s.P95LatencyMs
+	sig.Latency.PrevAvgMs = s.AvgLatencyMs
+	sig.Latency.PrevP95Ms = s.P95LatencyMs
+	for _, k := range resource.Kinds {
+		wc := WaitClassFor(k)
+		sig.Resources[k] = ResourceSignals{
+			Utilization:     s.Utilization[k],
+			WaitMs:          s.WaitMs[wc],
+			WaitPct:         s.WaitPct(wc),
+			PrevWaitMs:      s.WaitMs[wc],
+			PrevUtilization: s.Utilization[k],
+		}
+	}
+	for _, wc := range []WaitClass{WaitLock, WaitLatch, WaitSystem} {
+		sig.LogicalWaitPct[wc] = s.WaitPct(wc)
+	}
+	return sig
+}
+
+// Manager is the telemetry manager (Section 3): it retains a sliding window
+// of per-interval snapshots and derives the robust signals used for demand
+// estimation. The zero value is not usable; construct with NewManager.
+type Manager struct {
+	window int
+	alpha  float64
+	snaps  []Snapshot
+}
+
+// DefaultWindow is the number of billing intervals the manager aggregates
+// over. Short enough to react within minutes, long enough for robust
+// medians and trends.
+const DefaultWindow = 10
+
+// MinIntervalsForSignals is the minimum history before Signals reports.
+const MinIntervalsForSignals = 3
+
+// NewManager creates a telemetry manager with the given window (intervals).
+// window < MinIntervalsForSignals is raised to the minimum.
+func NewManager(window int) *Manager {
+	if window < MinIntervalsForSignals {
+		window = MinIntervalsForSignals
+	}
+	return &Manager{window: window, alpha: stats.DefaultTrendAlpha}
+}
+
+// Observe appends one billing interval's snapshot, evicting history beyond
+// the window.
+func (m *Manager) Observe(s Snapshot) {
+	m.snaps = append(m.snaps, s)
+	if len(m.snaps) > m.window {
+		m.snaps = m.snaps[len(m.snaps)-m.window:]
+	}
+}
+
+// ObserveRaw ingests a snapshot whose waits arrive as raw engine wait types
+// (the shape a production DBMS reports, Section 3.1): the manager applies
+// the classification rules and fills the snapshot's per-class wait totals
+// before retaining it. Any class totals already present in s are replaced.
+func (m *Manager) ObserveRaw(s Snapshot, byType map[WaitType]float64) {
+	s.WaitMs = AggregateWaitTypes(byType)
+	m.Observe(s)
+}
+
+// Len returns the number of retained snapshots.
+func (m *Manager) Len() int { return len(m.snaps) }
+
+// Reset clears all history (used after a container resize when the operator
+// wants signals scoped to the new container).
+func (m *Manager) Reset() { m.snaps = m.snaps[:0] }
+
+// Window returns the configured window size.
+func (m *Manager) Window() int { return m.window }
+
+// Signals computes the derived signals over the retained window. ok is
+// false until MinIntervalsForSignals snapshots have been observed.
+func (m *Manager) Signals() (Signals, bool) {
+	n := len(m.snaps)
+	if n < MinIntervalsForSignals {
+		return Signals{}, false
+	}
+	xs := make([]float64, n) // interval indices as the trend x-axis
+	avgLat := make([]float64, n)
+	p95Lat := make([]float64, n)
+	offered := make([]float64, n)
+	physReads := make([]float64, n)
+	for i, s := range m.snaps {
+		xs[i] = float64(s.Interval)
+		avgLat[i] = s.AvgLatencyMs
+		p95Lat[i] = s.P95LatencyMs
+		offered[i] = s.OfferedRPS
+		physReads[i] = s.PhysicalReads
+	}
+	var sig Signals
+	sig.Window = n
+	sig.Current = m.snaps[n-1]
+	sig.MemoryUsedMB = sig.Current.MemoryUsedMB
+	sig.OfferedRPS = stats.Median(offered)
+	sig.PhysicalReadsMedian = stats.Median(physReads)
+	sig.Latency.AvgMs = stats.Median(avgLat)
+	sig.Latency.P95Ms = stats.Median(p95Lat)
+	sig.Latency.PrevAvgMs = avgLat[n-2]
+	sig.Latency.PrevP95Ms = p95Lat[n-2]
+	if tr, err := stats.TheilSen(xs, p95Lat, m.alpha); err == nil {
+		sig.Latency.Trend = tr
+	}
+
+	for _, k := range resource.Kinds {
+		wc := WaitClassFor(k)
+		util := make([]float64, n)
+		wait := make([]float64, n)
+		pct := make([]float64, n)
+		for i, s := range m.snaps {
+			util[i] = s.Utilization[k]
+			wait[i] = s.WaitMs[wc]
+			pct[i] = s.WaitPct(wc)
+		}
+		rs := ResourceSignals{
+			Utilization:     stats.Median(util),
+			WaitMs:          stats.Median(wait),
+			WaitPct:         stats.Median(pct),
+			PrevWaitMs:      wait[n-2],
+			PrevUtilization: util[n-2],
+		}
+		if tr, err := stats.TheilSen(xs, util, m.alpha); err == nil {
+			rs.UtilTrend = tr
+		}
+		if tr, err := stats.TheilSen(xs, wait, m.alpha); err == nil {
+			rs.WaitTrend = tr
+		}
+		if rho, err := stats.Spearman(wait, p95Lat); err == nil {
+			rs.WaitLatencyCorr = rho
+		}
+		sig.Resources[k] = rs
+	}
+
+	for _, wc := range []WaitClass{WaitLock, WaitLatch, WaitSystem} {
+		pct := make([]float64, n)
+		for i, s := range m.snaps {
+			pct[i] = s.WaitPct(wc)
+		}
+		sig.LogicalWaitPct[wc] = stats.Median(pct)
+	}
+	return sig, true
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// workloadJSON is the serialized form of a Workload. Field names follow the
+// struct; the format is the library's way for users to define custom
+// tenant workloads without writing Go.
+type workloadJSON struct {
+	Name            string         `json:"name"`
+	Classes         []txnClassJSON `json:"classes"`
+	DataSizeMB      float64        `json:"data_size_mb"`
+	WorkingSetMB    float64        `json:"working_set_mb"`
+	HotspotFraction float64        `json:"hotspot_fraction"`
+}
+
+type txnClassJSON struct {
+	Name             string  `json:"name"`
+	Weight           float64 `json:"weight"`
+	CPUms            float64 `json:"cpu_ms"`
+	LogicalReads     float64 `json:"logical_reads"`
+	WritePages       float64 `json:"write_pages"`
+	LogKB            float64 `json:"log_kb"`
+	LockHoldMs       float64 `json:"lock_hold_ms"`
+	LockConflictProb float64 `json:"lock_conflict_prob"`
+	LatchProb        float64 `json:"latch_prob"`
+}
+
+// WriteJSON serializes the workload definition.
+func (w *Workload) WriteJSON(out io.Writer) error {
+	j := workloadJSON{
+		Name:            w.Name,
+		DataSizeMB:      w.DataSizeMB,
+		WorkingSetMB:    w.WorkingSetMB,
+		HotspotFraction: w.HotspotFraction,
+	}
+	for _, c := range w.Classes {
+		j.Classes = append(j.Classes, txnClassJSON(c))
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadJSON parses and validates a workload definition written by WriteJSON
+// (or authored by hand).
+func ReadJSON(in io.Reader) (*Workload, error) {
+	var j workloadJSON
+	if err := json.NewDecoder(in).Decode(&j); err != nil {
+		return nil, fmt.Errorf("workload: decoding: %w", err)
+	}
+	w := &Workload{
+		Name:            j.Name,
+		DataSizeMB:      j.DataSizeMB,
+		WorkingSetMB:    j.WorkingSetMB,
+		HotspotFraction: j.HotspotFraction,
+	}
+	for _, c := range j.Classes {
+		w.Classes = append(w.Classes, TxnClass(c))
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,239 @@
+// Package workload models the benchmark workloads the paper drives its
+// experiments with (Section 7.1): TPC-C, the Dell DVD Store (DS2), and the
+// CPUIO micro-benchmark whose query mix and working set are configurable.
+//
+// A workload is a mix of transaction classes, each with a per-transaction
+// resource profile (CPU time, logical reads, page writes, log volume,
+// application-lock behaviour). The engine turns offered load (transactions
+// per second from a trace) plus these profiles into resource demand, waits
+// and latencies. Crucially, the three workloads have the distinct bottleneck
+// profiles the paper's narrative depends on: TPC-C is dominated by
+// application-level lock contention (Fig 13), CPUIO is resource-bound with a
+// controllable working set (Fig 9, 11, 14), and DS2 is a steady moderate mix
+// (Fig 12).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TxnClass describes one transaction (or query) class in a workload mix.
+type TxnClass struct {
+	// Name identifies the class, e.g. "new-order".
+	Name string
+	// Weight is the relative frequency of the class in the mix; weights
+	// need not sum to 1 (they are normalized).
+	Weight float64
+	// CPUms is CPU time consumed per transaction, in core-milliseconds.
+	CPUms float64
+	// LogicalReads is the number of page reads issued per transaction.
+	// Reads missing the buffer pool become physical disk I/Os.
+	LogicalReads float64
+	// WritePages is the number of pages dirtied per transaction; dirty
+	// pages are flushed as physical disk writes.
+	WritePages float64
+	// LogKB is the log volume written per transaction, in kilobytes.
+	LogKB float64
+	// LockHoldMs is the time application-level locks are held per
+	// transaction.
+	LockHoldMs float64
+	// LockConflictProb is the probability that the transaction contends on
+	// a hot application lock. Lock waits grow with offered concurrency and
+	// are independent of container size.
+	LockConflictProb float64
+	// LatchProb is the probability of a short internal latch wait.
+	LatchProb float64
+}
+
+// Workload is a named mix of transaction classes plus data-access locality
+// parameters that drive the buffer-pool model.
+type Workload struct {
+	// Name identifies the workload ("tpcc", "ds2", "cpuio").
+	Name string
+	// Classes is the transaction mix.
+	Classes []TxnClass
+	// DataSizeMB is the total database size.
+	DataSizeMB float64
+	// WorkingSetMB is the size of the hot set; once cached, hot accesses
+	// hit memory.
+	WorkingSetMB float64
+	// HotspotFraction is the fraction of page accesses that touch the
+	// working set (e.g. 0.95 means 95% of operations access hot data).
+	HotspotFraction float64
+}
+
+// Validate checks internal consistency.
+func (w *Workload) Validate() error {
+	if len(w.Classes) == 0 {
+		return fmt.Errorf("workload %q: no transaction classes", w.Name)
+	}
+	var sum float64
+	for _, c := range w.Classes {
+		if c.Weight < 0 {
+			return fmt.Errorf("workload %q: class %q has negative weight", w.Name, c.Name)
+		}
+		sum += c.Weight
+	}
+	if sum <= 0 {
+		return fmt.Errorf("workload %q: total weight is zero", w.Name)
+	}
+	if w.WorkingSetMB > w.DataSizeMB {
+		return fmt.Errorf("workload %q: working set %vMB exceeds data size %vMB", w.Name, w.WorkingSetMB, w.DataSizeMB)
+	}
+	if w.HotspotFraction < 0 || w.HotspotFraction > 1 {
+		return fmt.Errorf("workload %q: hotspot fraction %v outside [0,1]", w.Name, w.HotspotFraction)
+	}
+	return nil
+}
+
+// Profile is the expected per-transaction resource profile of the mix
+// (weights applied).
+type Profile struct {
+	CPUms            float64
+	LogicalReads     float64
+	WritePages       float64
+	LogKB            float64
+	LockHoldMs       float64
+	LockConflictProb float64
+	LatchProb        float64
+}
+
+// MixProfile returns the weight-averaged per-transaction profile.
+func (w *Workload) MixProfile() Profile {
+	var p Profile
+	var sum float64
+	for _, c := range w.Classes {
+		sum += c.Weight
+	}
+	if sum == 0 {
+		return p
+	}
+	for _, c := range w.Classes {
+		f := c.Weight / sum
+		p.CPUms += f * c.CPUms
+		p.LogicalReads += f * c.LogicalReads
+		p.WritePages += f * c.WritePages
+		p.LogKB += f * c.LogKB
+		p.LockHoldMs += f * c.LockHoldMs
+		p.LockConflictProb += f * c.LockConflictProb
+		p.LatchProb += f * c.LatchProb
+	}
+	return p
+}
+
+// TPCC returns a TPC-C-like OLTP mix: short read/write transactions with
+// heavy application-level lock contention on hot rows (district/warehouse
+// counters). Its latencies are dominated by lock waits, not resources — the
+// profile behind the paper's Figure 13 drill-down.
+func TPCC() *Workload {
+	return &Workload{
+		Name: "tpcc",
+		Classes: []TxnClass{
+			{Name: "new-order", Weight: 0.45, CPUms: 1.2, LogicalReads: 28, WritePages: 0.5, LogKB: 1.2, LockHoldMs: 25, LockConflictProb: 0.55, LatchProb: 0.05},
+			{Name: "payment", Weight: 0.43, CPUms: 0.6, LogicalReads: 8, WritePages: 0.15, LogKB: 0.5, LockHoldMs: 18, LockConflictProb: 0.65, LatchProb: 0.04},
+			{Name: "order-status", Weight: 0.04, CPUms: 0.5, LogicalReads: 14, WritePages: 0, LogKB: 0, LockHoldMs: 0, LockConflictProb: 0, LatchProb: 0.02},
+			{Name: "delivery", Weight: 0.04, CPUms: 1.8, LogicalReads: 60, WritePages: 1, LogKB: 1.5, LockHoldMs: 40, LockConflictProb: 0.5, LatchProb: 0.05},
+			{Name: "stock-level", Weight: 0.04, CPUms: 1.5, LogicalReads: 90, WritePages: 0, LogKB: 0, LockHoldMs: 0, LockConflictProb: 0, LatchProb: 0.03},
+		},
+		DataSizeMB:      3 * 1024,
+		WorkingSetMB:    1800,
+		HotspotFraction: 0.97,
+	}
+}
+
+// DS2 returns a Dell DVD Store-like mix: read-mostly browse/login plus a
+// purchase path, with moderate CPU and I/O and little lock contention. A
+// steady, balanced workload (used with Trace 1 in Figure 12).
+func DS2() *Workload {
+	return &Workload{
+		Name: "ds2",
+		Classes: []TxnClass{
+			{Name: "browse", Weight: 0.55, CPUms: 2.2, LogicalReads: 55, WritePages: 0, LogKB: 0, LockHoldMs: 0, LockConflictProb: 0, LatchProb: 0.02},
+			{Name: "login", Weight: 0.20, CPUms: 0.9, LogicalReads: 10, WritePages: 1, LogKB: 0.5, LockHoldMs: 2, LockConflictProb: 0.03, LatchProb: 0.02},
+			{Name: "purchase", Weight: 0.20, CPUms: 1.6, LogicalReads: 20, WritePages: 6, LogKB: 5, LockHoldMs: 6, LockConflictProb: 0.08, LatchProb: 0.03},
+			{Name: "new-customer", Weight: 0.05, CPUms: 1.1, LogicalReads: 8, WritePages: 4, LogKB: 3, LockHoldMs: 4, LockConflictProb: 0.04, LatchProb: 0.02},
+		},
+		DataSizeMB:      4 * 1024,
+		WorkingSetMB:    2500,
+		HotspotFraction: 0.85,
+	}
+}
+
+// CPUIOConfig parameterizes the CPUIO micro-benchmark: relative weights of
+// CPU-, disk-I/O- and log-I/O-intensive queries, and the working-set size
+// controlled via a hotspot access distribution (Section 7.1).
+type CPUIOConfig struct {
+	// CPUWeight, IOWeight and LogWeight set the mix of the three query
+	// classes. They are normalized, so any positive scale works.
+	CPUWeight, IOWeight, LogWeight float64
+	// WorkingSetMB is the hot-set size (the paper's ballooning experiment
+	// uses ≈3GB).
+	WorkingSetMB float64
+	// HotspotFraction is the fraction of accesses hitting the hot set
+	// (>0.95 in the ballooning experiment).
+	HotspotFraction float64
+}
+
+// DefaultCPUIOConfig returns the balanced mix used by the end-to-end
+// experiments.
+func DefaultCPUIOConfig() CPUIOConfig {
+	return CPUIOConfig{CPUWeight: 1, IOWeight: 1, LogWeight: 0.5, WorkingSetMB: 3 * 1024, HotspotFraction: 0.95}
+}
+
+// CPUIO returns the configurable micro-benchmark generating CPU-, disk I/O-
+// and log-I/O-intensive queries, including lightweight analytical scans.
+func CPUIO(cfg CPUIOConfig) *Workload {
+	return &Workload{
+		Name: "cpuio",
+		Classes: []TxnClass{
+			{Name: "cpu-heavy", Weight: cfg.CPUWeight, CPUms: 9, LogicalReads: 6, WritePages: 0, LogKB: 0, LockHoldMs: 0, LockConflictProb: 0, LatchProb: 0.01},
+			{Name: "io-scan", Weight: cfg.IOWeight, CPUms: 1.5, LogicalReads: 160, WritePages: 2, LogKB: 1, LockHoldMs: 0, LockConflictProb: 0, LatchProb: 0.02},
+			{Name: "log-write", Weight: cfg.LogWeight, CPUms: 0.8, LogicalReads: 6, WritePages: 6, LogKB: 24, LockHoldMs: 1, LockConflictProb: 0.02, LatchProb: 0.02},
+		},
+		DataSizeMB:      cfg.WorkingSetMB + 1024,
+		WorkingSetMB:    cfg.WorkingSetMB,
+		HotspotFraction: cfg.HotspotFraction,
+	}
+}
+
+// ByName constructs a standard workload by name ("tpcc", "ds2", "cpuio").
+func ByName(name string) (*Workload, error) {
+	switch name {
+	case "tpcc":
+		return TPCC(), nil
+	case "ds2":
+		return DS2(), nil
+	case "cpuio":
+		return CPUIO(DefaultCPUIOConfig()), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+}
+
+// Generator produces the offered load for each simulated second, following
+// a trace's per-minute target rate as closely as possible (Section 7.1's
+// workload generator executes "in steps in sync with the trace"). A small
+// deterministic jitter models client-side arrival variance.
+type Generator struct {
+	rng    *rand.Rand
+	jitter float64
+}
+
+// NewGenerator returns a generator with the given seed and jitter amplitude
+// (fraction, e.g. 0.1 for ±10%).
+func NewGenerator(seed int64, jitter float64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed)), jitter: jitter}
+}
+
+// Offered returns the number of transactions offered during one second when
+// the trace target is targetRPS. The value is jittered deterministically
+// and never negative.
+func (g *Generator) Offered(targetRPS float64) float64 {
+	f := 1 + g.jitter*(2*g.rng.Float64()-1)
+	v := targetRPS * f
+	if v < 0 {
+		return 0
+	}
+	return v
+}
