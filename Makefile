@@ -1,0 +1,26 @@
+# Build/verify entry points. `make verify` is the tier-1 gate: a clean
+# build, the full test suite, vet, and the race detector over the short
+# suite (the parallel executor paths are exercised under -race there).
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+verify: build test vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -11,9 +11,11 @@
 package daasscale_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -21,6 +23,7 @@ import (
 	"daasscale/internal/core"
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
+	"daasscale/internal/exec"
 	"daasscale/internal/fleet"
 	"daasscale/internal/learned"
 	"daasscale/internal/policy"
@@ -929,5 +932,104 @@ func BenchmarkExtensionPerDimensionCatalog(b *testing.B) {
 		c := results["cpuio×trace2"]
 		b.ReportMetric(c[0], "cpuio-lockstep-cost")
 		b.ReportMetric(c[1], "cpuio-perdim-cost")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The parallel fleet engine: a 1000-tenant fleet study and a multi-tenant
+// cluster replay across worker counts. Parallelism must never change any
+// result — the determinism is asserted up front, byte for byte — so the
+// sub-benchmark deltas are pure wall-clock: near-linear speedup on
+// multi-core hosts, a small coordination overhead on a single core.
+// ---------------------------------------------------------------------------
+
+func BenchmarkParallelFleet1kTenants(b *testing.B) {
+	ctx := context.Background()
+	cat := resource.LockStepCatalog()
+	const tenants, days = 1000, 7
+
+	serialFleet, err := fleet.GenerateFleetContext(ctx, tenants, days, benchSeed, exec.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parFleet, err := fleet.GenerateFleetContext(ctx, tenants, days, benchSeed, exec.Options{Workers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialFleet, parFleet) {
+		b.Fatal("parallel fleet generation is not bit-identical to serial")
+	}
+	serialA, err := fleet.AnalyzeContext(ctx, serialFleet, cat, exec.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parA, err := fleet.AnalyzeContext(ctx, serialFleet, cat, exec.Options{Workers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialA, parA) {
+		b.Fatal("parallel fleet analysis is not bit-identical to serial")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := exec.Options{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				f, err := fleet.GenerateFleetContext(ctx, tenants, days, benchSeed, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := fleet.AnalyzeContext(ctx, f, cat, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(a.TotalChanges), "changes")
+			}
+		})
+	}
+}
+
+func BenchmarkParallelClusterReplay(b *testing.B) {
+	ctx := context.Background()
+	spec := sim.MultiTenantSpec{Servers: 8, Seed: benchSeed}
+	for i := 0; i < 16; i++ {
+		w := workload.DS2()
+		switch i % 3 {
+		case 1:
+			w = workload.TPCC()
+		case 2:
+			w = workload.CPUIO(workload.DefaultCPUIOConfig())
+		}
+		spec.Tenants = append(spec.Tenants, sim.TenantSpec{
+			ID:       fmt.Sprintf("tenant-%02d", i),
+			Workload: w,
+			Trace:    trace.Trace2(60, benchSeed+int64(i)),
+			GoalMs:   100,
+		})
+	}
+
+	serial, err := sim.NewRunner(sim.WithParallelism(1)).RunMultiTenant(ctx, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := sim.NewRunner(sim.WithParallelism(8)).RunMultiTenant(ctx, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		b.Fatal("parallel cluster replay is not bit-identical to serial")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runner := sim.NewRunner(sim.WithParallelism(workers))
+			for i := 0; i < b.N; i++ {
+				res, err := runner.RunMultiTenant(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Migrations+res.Refusals), "fabric-events")
+			}
+		})
 	}
 }

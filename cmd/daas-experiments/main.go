@@ -15,16 +15,20 @@
 //
 // Usage:
 //
-//	daas-experiments [-seed S] [-quick]
+//	daas-experiments [-seed S] [-quick] [-workers W] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"time"
 
+	"daasscale/internal/exec"
 	"daasscale/internal/fleet"
 	"daasscale/internal/report"
 	"daasscale/internal/resource"
@@ -38,9 +42,30 @@ func main() {
 	log.SetPrefix("daas-experiments: ")
 	seed := flag.Int64("seed", 42, "seed for every experiment")
 	quick := flag.Bool("quick", false, "fast smoke run: smaller fleet, decimated traces (online policies get less reaction headroom, so their numbers are distorted)")
+	workers := flag.Int("workers", 0, "worker-pool width for parallel simulation (0 = all cores); never changes results")
+	progress := flag.Bool("progress", false, "print live executor metrics to stderr")
 	outDir := flag.String("out", "", "also write every policy's per-interval series as CSV files into this directory")
 	markdownPath := flag.String("markdown", "", "also write the comparison tables as a markdown report to this file")
 	flag.Parse()
+
+	// Ctrl-C cancels the current experiment cleanly (sim.ErrCanceled)
+	// instead of killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	execOpts := exec.Options{Workers: *workers}
+	runnerOpts := []sim.Option{sim.WithParallelism(*workers), sim.WithSeed(*seed)}
+	if *progress {
+		hook := func(p exec.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d tasks  %.1f/s  p50 %s  p95 %s  util %.0f%%   ",
+				p.Done, p.Total, p.TasksPerSec,
+				p.P50.Round(time.Millisecond), p.P95.Round(time.Millisecond),
+				p.WorkerUtilization*100)
+		}
+		execOpts.OnProgress = hook
+		runnerOpts = append(runnerOpts, sim.WithProgress(hook))
+	}
+	runner := sim.NewRunner(runnerOpts...)
 
 	var md *os.File
 	if *markdownPath != "" {
@@ -65,8 +90,14 @@ func main() {
 
 	// ---- Figure 2 -------------------------------------------------------
 	section("Figure 2: resource demand analysis in production (synthetic fleet)")
-	f := fleet.GenerateFleet(tenants, days, *seed)
-	analysis := fleet.Analyze(f, cat)
+	f, err := fleet.GenerateFleetContext(ctx, tenants, days, *seed, execOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := fleet.AnalyzeContext(ctx, f, cat, execOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	report.FleetSummary(out, analysis)
 
 	// ---- Figures 4 & 6 ----------------------------------------------------
@@ -114,11 +145,10 @@ func main() {
 	var tpccComp sim.Comparison
 	for _, e := range exps {
 		section(e.title)
-		comp, err := sim.RunComparison(sim.ComparisonSpec{
+		comp, err := runner.RunComparison(ctx, sim.ComparisonSpec{
 			Workload:   e.w,
 			Trace:      e.tr,
 			GoalFactor: e.goalFactor,
-			Seed:       *seed,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -157,7 +187,7 @@ func main() {
 
 	// ---- Figure 14 ---------------------------------------------------------
 	section("Figure 14: ballooning and low memory demand")
-	ball, err := sim.RunBallooningExperiment(sim.BallooningSpec{Seed: *seed})
+	ball, err := runner.RunBallooning(ctx, sim.BallooningSpec{})
 	if err != nil {
 		log.Fatal(err)
 	}

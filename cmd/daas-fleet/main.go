@@ -6,16 +6,20 @@
 //
 // Usage:
 //
-//	daas-fleet [-tenants N] [-days D] [-configs C] [-seed S]
+//	daas-fleet [-tenants N] [-days D] [-configs C] [-seed S] [-workers W] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"time"
 
 	"daasscale/internal/estimator"
+	"daasscale/internal/exec"
 	"daasscale/internal/fleet"
 	"daasscale/internal/report"
 	"daasscale/internal/resource"
@@ -28,15 +32,32 @@ func main() {
 	days := flag.Int("days", 7, "days of 5-minute telemetry per tenant")
 	configs := flag.Int("configs", 300, "engine configurations for wait sampling")
 	seed := flag.Int64("seed", 42, "seed")
+	workers := flag.Int("workers", 0, "worker-pool width for per-tenant work (0 = all cores); never changes results")
+	progress := flag.Bool("progress", false, "print live throughput metrics to stderr while tenants process")
 	saveThresholds := flag.String("save-thresholds", "", "write the calibrated thresholds to this JSON file")
 	compareThresholds := flag.String("compare-thresholds", "", "load active thresholds from this JSON file and print a drift report")
 	flag.Parse()
 
+	// Ctrl-C cancels the fleet fan-out instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := exec.Options{Workers: *workers}
+	if *progress {
+		opts.OnProgress = progressPrinter()
+	}
+
 	cat := resource.LockStepCatalog()
 
 	fmt.Println("=== Figure 2: container-size change events across the fleet ===")
-	f := fleet.GenerateFleet(*tenants, *days, *seed)
-	a := fleet.Analyze(f, cat)
+	f, err := fleet.GenerateFleetContext(ctx, *tenants, *days, *seed, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := fleet.AnalyzeContext(ctx, f, cat, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	report.FleetSummary(os.Stdout, a)
 	report.CDFTable(os.Stdout, "IEI CDF (minutes):", a.IEICDF, []float64{5, 15, 30, 60, 120, 360, 720, 1440})
 
@@ -88,5 +109,17 @@ func main() {
 		}
 		fmt.Println("\n=== Section 4.1: threshold re-tuning report ===")
 		fleet.WriteDriftReport(os.Stdout, fleet.ThresholdDrift(active, th), 0.25)
+	}
+}
+
+// progressPrinter renders executor metrics on stderr. The hook may fire
+// concurrently from several workers; a single \r-terminated line per call
+// keeps the output readable without locking.
+func progressPrinter() func(exec.Progress) {
+	return func(p exec.Progress) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d tenants  %.0f/s  p50 %s  p95 %s  util %.0f%%   ",
+			p.Done, p.Total, p.TasksPerSec,
+			p.P50.Round(10*time.Microsecond), p.P95.Round(10*time.Microsecond),
+			p.WorkerUtilization*100)
 	}
 }

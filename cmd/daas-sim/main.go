@@ -7,15 +7,17 @@
 //
 //	daas-sim [-workload tpcc|ds2|cpuio] [-trace trace1..trace4]
 //	         [-goal-factor F] [-seed S] [-sensitivity low|medium|high]
-//	         [-budget B -budget-intervals N]
+//	         [-budget B -budget-intervals N] [-workers W]
 //	         [-csv POLICY -out FILE]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"daasscale/internal/budget"
 	"daasscale/internal/estimator"
@@ -37,6 +39,7 @@ func main() {
 	sensitivity := flag.String("sensitivity", "medium", "performance sensitivity: low, medium or high")
 	budgetTotal := flag.Float64("budget", 0, "optional budget for Auto over the budgeting period (0 = unlimited)")
 	budgetIntervals := flag.Int("budget-intervals", 0, "budgeting period in billing intervals (defaults to the trace length)")
+	workers := flag.Int("workers", 0, "worker-pool width for the policy fan-out (0 = all cores); never changes results")
 	calibrate := flag.Bool("calibrate", false, "calibrate estimator thresholds from a fleet sample first")
 	csvPolicy := flag.String("csv", "", "export this policy's per-interval series as CSV")
 	outPath := flag.String("out", "", "CSV output file (default stdout)")
@@ -90,7 +93,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "note: Auto uses fleet-calibrated thresholds")
 	}
 
-	comp, err := sim.RunComparison(cs)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	comp, err := sim.NewRunner(sim.WithParallelism(*workers)).RunComparison(ctx, cs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,10 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	res, err := sim.RunMultiTenant(sim.MultiTenantSpec{
+	// The Runner fans the per-tenant engine work across all cores; worker
+	// count never changes the results, only the wall time.
+	runner := sim.NewRunner()
+	res, err := runner.RunMultiTenant(context.Background(), sim.MultiTenantSpec{
 		Tenants: []sim.TenantSpec{
 			{ID: "webshop", Workload: workload.DS2(), Trace: trace.Trace1(300, 1), GoalMs: 60, Seed: 1},
 			{ID: "orders", Workload: workload.TPCC(), Trace: trace.Trace4(300, 2), GoalMs: 200, Seed: 2},

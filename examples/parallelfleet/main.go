@@ -1,0 +1,94 @@
+// Parallelfleet: the parallel simulation engine end to end. A fleet of
+// tenants is synthesized and analyzed across every core, then a cluster of
+// auto-scaled tenants replays through the sim.Runner with a live progress
+// hook and a cancelable context — the API surface a DaaS control-plane
+// service would embed. Worker count never changes any result: all
+// randomness is derived per tenant (exec.SplitSeed), so a -workers 1 run is
+// bit-identical to a -workers 64 run.
+//
+// Run with:
+//
+//	go run ./examples/parallelfleet [-tenants N] [-workers W]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"daasscale/internal/exec"
+	"daasscale/internal/fabric"
+	"daasscale/internal/fleet"
+	"daasscale/internal/resource"
+	"daasscale/internal/sim"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	tenants := flag.Int("tenants", 500, "synthetic fleet size")
+	workers := flag.Int("workers", 0, "pool width (0 = all cores)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Progress hooks may fire concurrently from several workers — keep them
+	// cheap and re-entrant (one Fprintf per call, no shared mutable state).
+	progress := func(p exec.Progress) {
+		fmt.Fprintf(os.Stderr, "\r  %d/%d  %.0f tasks/s  p95 %s  workers %d (%.0f%% busy)   ",
+			p.Done, p.Total, p.TasksPerSec, p.P95.Round(time.Millisecond),
+			p.Workers, p.WorkerUtilization*100)
+	}
+	opts := exec.Options{Workers: *workers, OnProgress: progress}
+
+	// --- fleet-wide telemetry study, fanned across the pool ---------------
+	start := time.Now()
+	f, err := fleet.GenerateFleetContext(ctx, *tenants, 7, 42, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := fleet.AnalyzeContext(ctx, f, resource.LockStepCatalog(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Printf("fleet of %d tenants generated and analyzed in %s\n", *tenants, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %d container-size changes; %.0f%% within 60 min of the previous one\n",
+		analysis.TotalChanges, analysis.IEIWithin60Min*100)
+
+	// --- cluster replay through the Runner ---------------------------------
+	runner := sim.NewRunner(
+		sim.WithParallelism(*workers),
+		sim.WithSeed(42),
+		sim.WithProgress(progress),
+	)
+	start = time.Now()
+	res, err := runner.RunMultiTenant(ctx, sim.MultiTenantSpec{
+		Tenants: []sim.TenantSpec{
+			// Seeds left zero: each tenant's RNG derives from the cluster
+			// seed and its ID, so the list scales without bookkeeping.
+			{ID: "webshop", Workload: workload.DS2(), Trace: trace.Trace1(300, 1), GoalMs: 60},
+			{ID: "orders", Workload: workload.TPCC(), Trace: trace.Trace4(300, 2), GoalMs: 200},
+			{ID: "reports", Workload: workload.CPUIO(workload.DefaultCPUIOConfig()), Trace: trace.Trace2(300, 3), GoalMs: 100},
+			{ID: "staging", Workload: workload.CPUIO(workload.DefaultCPUIOConfig()), Trace: trace.Trace3(300, 4), GoalMs: 300},
+		},
+		Servers: 2,
+		Policy:  fabric.BestFit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Printf("cluster replay finished in %s\n", time.Since(start).Round(time.Millisecond))
+	for _, tn := range res.Tenants {
+		fmt.Printf("  %-8s cost/interval %7.1f  p95 %7.1fms  %d resizes (%d refused)\n",
+			tn.ID, tn.AvgCostPerInterval, tn.P95Ms, tn.Changes, tn.RefusedResizes)
+	}
+	fmt.Printf("fabric: %d migrations, %d refusals\n", res.Migrations, res.Refusals)
+}

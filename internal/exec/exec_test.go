@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapMatchesSerial(t *testing.T) {
+	task := func(_ context.Context, i int) (int64, error) {
+		// Deterministic per-index work: a short RNG stream from a split seed.
+		rng := rand.New(rand.NewSource(SplitSeed(42, int64(i))))
+		var sum int64
+		for k := 0; k < 100; k++ {
+			sum += rng.Int63n(1000)
+		}
+		return sum, nil
+	}
+	serial := make([]int64, 200)
+	for i := range serial {
+		v, _ := task(context.Background(), i)
+		serial[i] = v
+	}
+	for _, workers := range []int{1, 2, 7, 16} {
+		got, err := Map(context.Background(), len(serial), Options{Workers: workers}, task)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: index %d diverged: %d vs %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNil(t *testing.T) {
+	if err := ForEach(context.Background(), 0, Options{}, func(context.Context, int) error { return nil }); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if err := ForEach(context.Background(), 3, Options{}, nil); err == nil {
+		t.Error("nil task should fail")
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1000, Options{Workers: 4}, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return fmt.Errorf("task %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// The error cancels the batch: nowhere near all 1000 tasks should run.
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not short-circuit the batch")
+	}
+}
+
+func TestForEachCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 100, Options{Workers: 2}, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran on a dead context", ran.Load())
+	}
+}
+
+func TestForEachCancelMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	start := time.Now()
+	err := ForEach(ctx, 10_000, Options{Workers: 2}, func(ctx context.Context, i int) error {
+		if ran.Add(1) == 20 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() > 200 {
+		t.Errorf("cancellation was not prompt: %d tasks ran", ran.Load())
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v", d)
+	}
+}
+
+// TestProgressConcurrent exercises the progress hook from many workers at
+// once — run under -race this is the regression test for callback safety.
+func TestProgressConcurrent(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		last Progress
+		hits int
+	)
+	pool := NewPool(Options{Workers: 8, ProgressEvery: 1, OnProgress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		hits++
+		last = p
+	}})
+	err := pool.Run(context.Background(), 500, func(context.Context, int) error {
+		time.Sleep(20 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits < 500 {
+		t.Errorf("progress hook fired %d times, want ≥ 500", hits)
+	}
+	if last.Done != 500 || last.Total != 500 {
+		t.Errorf("final progress %+v, want 500/500", last)
+	}
+	if last.Failed != 0 {
+		t.Errorf("failed = %d", last.Failed)
+	}
+	if last.TasksPerSec <= 0 {
+		t.Errorf("tasks/sec = %v", last.TasksPerSec)
+	}
+	if last.WorkerUtilization < 0 || last.WorkerUtilization > 1 {
+		t.Errorf("worker utilization = %v", last.WorkerUtilization)
+	}
+	if last.P95 < last.P50 {
+		t.Errorf("p95 %v below p50 %v", last.P95, last.P50)
+	}
+}
+
+func TestPoolAccumulatesAcrossBatches(t *testing.T) {
+	pool := NewPool(Options{Workers: 3})
+	for batch := 0; batch < 5; batch++ {
+		if err := pool.Run(context.Background(), 40, func(context.Context, int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.Done != 200 || st.Total != 200 {
+		t.Errorf("stats after 5 batches: %+v", st)
+	}
+	if st.Workers != 3 {
+		t.Errorf("workers = %d", st.Workers)
+	}
+}
+
+func TestSplitSeed(t *testing.T) {
+	if SplitSeed(1, 2) != SplitSeed(1, 2) {
+		t.Error("SplitSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := int64(0); i < 10_000; i++ {
+		s := SplitSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	// Different bases give different streams.
+	if SplitSeed(1, 7) == SplitSeed(2, 7) {
+		t.Error("base seed does not separate streams")
+	}
+	if SplitSeedString(1, "tenant-a") == SplitSeedString(1, "tenant-b") {
+		t.Error("string identities collide")
+	}
+	if SplitSeedString(9, "x") != SplitSeedString(9, "x") {
+		t.Error("SplitSeedString not deterministic")
+	}
+}

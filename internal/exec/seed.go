@@ -1,0 +1,35 @@
+package exec
+
+// Deterministic seed splitting: every tenant (or task) derives its own RNG
+// stream from the experiment's base seed and its stable identity, never
+// from its position in a shared sequential stream. That is what lets a
+// parallel run reproduce a serial run bit-for-bit — the paper's fleet
+// analyses and the URSA-style capacity studies both lean on this property
+// to compare runs across machine sizes.
+
+// SplitSeed derives an independent child seed from a base seed and a task
+// index using a SplitMix64-style finalizer. Distinct (base, index) pairs
+// map to well-mixed, effectively uncorrelated seeds; the same pair always
+// maps to the same seed.
+func SplitSeed(base, index int64) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// SplitSeedString derives a child seed from a base seed and a string
+// identity (e.g. a tenant ID) by hashing the string with FNV-1a and
+// finishing with SplitSeed's mixer.
+func SplitSeedString(base int64, id string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return SplitSeed(base, int64(h))
+}

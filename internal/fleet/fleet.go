@@ -15,10 +15,12 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"daasscale/internal/exec"
 	"daasscale/internal/resource"
 	"daasscale/internal/stats"
 )
@@ -80,14 +82,23 @@ func (t *Tenant) Days() int { return len(t.Demand) / IntervalsPerDay }
 
 // GenerateFleet synthesizes n tenants with days of 5-minute demand history.
 // Archetypes, scales and resource mixes vary per tenant; everything is
-// deterministic in the seed.
+// deterministic in the seed. Equivalent to GenerateFleetContext with a
+// background context and default pool options.
 func GenerateFleet(n, days int, seed int64) []Tenant {
-	rng := rand.New(rand.NewSource(seed))
-	fleet := make([]Tenant, n)
-	for i := range fleet {
-		fleet[i] = generateTenant(i, days, rng)
-	}
-	return fleet
+	f, _ := GenerateFleetContext(context.Background(), n, days, seed, exec.Options{})
+	return f
+}
+
+// GenerateFleetContext synthesizes the fleet across a worker pool. Each
+// tenant's RNG is derived from the fleet seed and the tenant index via
+// exec.SplitSeed, so the fleet is deterministic in the seed and
+// bit-identical at any worker count. The error is non-nil only when ctx is
+// canceled before generation finishes.
+func GenerateFleetContext(ctx context.Context, n, days int, seed int64, opts exec.Options) ([]Tenant, error) {
+	return exec.Map(ctx, n, opts, func(_ context.Context, i int) (Tenant, error) {
+		rng := rand.New(rand.NewSource(exec.SplitSeed(seed, int64(i))))
+		return generateTenant(i, days, rng), nil
+	})
 }
 
 // generateTenant builds one tenant's weekly demand.
@@ -251,8 +262,25 @@ func ArchetypeBreakdown(fleet []Tenant, cat *resource.Catalog) map[Archetype]flo
 	return out
 }
 
-// Analyze runs the Section 2.2 study over the fleet.
+// Analyze runs the Section 2.2 study over the fleet. Equivalent to
+// AnalyzeContext with a background context and default pool options.
 func Analyze(fleet []Tenant, cat *resource.Catalog) Analysis {
+	a, _ := AnalyzeContext(context.Background(), fleet, cat, exec.Options{})
+	return a
+}
+
+// AnalyzeContext runs the study with the per-tenant work — container
+// assignment and change-event extraction, the expensive part — fanned
+// across a worker pool. Aggregation happens serially in tenant index order
+// afterwards, so the Analysis is bit-identical to a serial pass at any
+// worker count. The error is non-nil only when ctx is canceled.
+func AnalyzeContext(ctx context.Context, fleet []Tenant, cat *resource.Catalog, opts exec.Options) (Analysis, error) {
+	perTenant, err := exec.Map(ctx, len(fleet), opts, func(_ context.Context, i int) ([]ChangeEvent, error) {
+		return ChangeEvents(AssignContainers(&fleet[i], cat)), nil
+	})
+	if err != nil {
+		return Analysis{}, err
+	}
 	var a Analysis
 	a.Tenants = len(fleet)
 	var ieiMinutes []float64
@@ -260,7 +288,7 @@ func Analyze(fleet []Tenant, cat *resource.Catalog) Analysis {
 	var oneStep, atMostTwo int
 	for i := range fleet {
 		t := &fleet[i]
-		events := ChangeEvents(AssignContainers(t, cat))
+		events := perTenant[i]
 		a.TotalChanges += len(events)
 		for j := range events {
 			if j > 0 {
@@ -302,5 +330,5 @@ func Analyze(fleet []Tenant, cat *resource.Catalog) Analysis {
 		a.OneStepShare = float64(oneStep) / float64(a.TotalChanges)
 		a.AtMostTwoStepsShare = float64(atMostTwo) / float64(a.TotalChanges)
 	}
-	return a
+	return a, nil
 }

@@ -1,8 +1,12 @@
 package fleet
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
+	"daasscale/internal/exec"
 	"daasscale/internal/resource"
 	"daasscale/internal/stats"
 )
@@ -245,5 +249,49 @@ func TestArchetypeBreakdown(t *testing.T) {
 	}
 	if got := ArchetypeBreakdown(nil, cat); len(got) != 0 {
 		t.Errorf("empty fleet breakdown = %v", got)
+	}
+}
+
+func TestParallelFleetBitIdentical(t *testing.T) {
+	// Worker count must never change what the fleet paths produce: tenant
+	// RNGs are derived per index (exec.SplitSeed) and analysis aggregation
+	// is serial in index order.
+	ctx := context.Background()
+	serialFleet, err := GenerateFleetContext(ctx, 30, 2, 42, exec.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parFleet, err := GenerateFleetContext(ctx, 30, 2, 42, exec.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialFleet, parFleet) {
+		t.Fatal("parallel fleet generation differs from serial")
+	}
+	serialA, err := AnalyzeContext(ctx, serialFleet, cat, exec.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parA, err := AnalyzeContext(ctx, serialFleet, cat, exec.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialA, parA) {
+		t.Error("parallel analysis differs from serial")
+	}
+	if !reflect.DeepEqual(serialA, Analyze(serialFleet, cat)) {
+		t.Error("Analyze wrapper differs from AnalyzeContext")
+	}
+}
+
+func TestFleetContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateFleetContext(ctx, 10, 1, 1, exec.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("GenerateFleetContext: err = %v, want context.Canceled", err)
+	}
+	f := GenerateFleet(4, 1, 1)
+	if _, err := AnalyzeContext(ctx, f, cat, exec.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeContext: err = %v, want context.Canceled", err)
 	}
 }

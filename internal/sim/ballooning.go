@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
+	"daasscale/internal/exec"
 	"daasscale/internal/resource"
 	"daasscale/internal/telemetry"
 	"daasscale/internal/workload"
@@ -106,7 +108,19 @@ type BallooningSpec struct {
 // slow cache re-warm prolongs the damage. With ballooning, memory shrinks
 // gradually and the probe aborts as soon as I/O rises — near the working
 // set — with minimal latency impact.
+//
+// Deprecated: use NewRunner().RunBallooning(ctx, spec), which adds context
+// cancellation and runs the two (independent) arms concurrently; results
+// are identical to this wrapper.
 func RunBallooningExperiment(spec BallooningSpec) (BallooningResult, error) {
+	return NewRunner().RunBallooning(context.Background(), spec)
+}
+
+// runBallooning is the context-aware implementation behind
+// Runner.RunBallooning. The spec must already be validated. The two arms
+// are fully independent simulations (separate engines, generators and
+// telemetry), so they fan out across the pool.
+func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (BallooningResult, error) {
 	if spec.Intervals == 0 {
 		spec.Intervals = 120
 	}
@@ -127,7 +141,7 @@ func RunBallooningExperiment(spec BallooningSpec) (BallooningResult, error) {
 
 	res := BallooningResult{WorkingSetMB: w.WorkingSetMB}
 
-	runArm := func(withBalloon bool) (BallooningArm, error) {
+	runArm := func(ctx context.Context, withBalloon bool) (BallooningArm, error) {
 		arm := BallooningArm{ShrunkAt: -1, RevertedAt: -1}
 		if withBalloon {
 			arm.Name = "Ballooning"
@@ -144,6 +158,9 @@ func RunBallooningExperiment(spec BallooningSpec) (BallooningResult, error) {
 		badStreak := 0
 
 		for i := 0; i < spec.Intervals; i++ {
+			if err := checkCtx(ctx); err != nil {
+				return arm, fmt.Errorf("interval %d: %w", i, err)
+			}
 			for t := 0; t < eng.TicksPerInterval(); t++ {
 				eng.Tick(gen.Offered(spec.RPS))
 			}
@@ -208,12 +225,21 @@ func RunBallooningExperiment(spec BallooningSpec) (BallooningResult, error) {
 		return arm, nil
 	}
 
-	var err error
-	if res.Without, err = runArm(false); err != nil {
-		return res, fmt.Errorf("sim: ballooning (naive arm): %w", err)
+	arms, err := execMapPool(ctx, pool, 2, func(ctx context.Context, i int) (BallooningArm, error) {
+		withBalloon := i == 1
+		arm, err := runArm(ctx, withBalloon)
+		if err != nil {
+			name := "naive arm"
+			if withBalloon {
+				name = "probe arm"
+			}
+			return arm, fmt.Errorf("sim: ballooning (%s): %w", name, err)
+		}
+		return arm, nil
+	})
+	if err != nil {
+		return res, err
 	}
-	if res.With, err = runArm(true); err != nil {
-		return res, fmt.Errorf("sim: ballooning (probe arm): %w", err)
-	}
+	res.Without, res.With = arms[0], arms[1]
 	return res, nil
 }

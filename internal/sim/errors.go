@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of every Run* path. All spec-validation failures wrap
+// ErrInvalidSpec and all context cancellations/timeouts wrap ErrCanceled,
+// so callers branch with errors.Is instead of matching message strings.
+var (
+	// ErrInvalidSpec is wrapped by every validation failure: nil workloads,
+	// traces, policies or catalogs, zero-length or negative intervals,
+	// empty tenant or policy lists, out-of-range knobs.
+	ErrInvalidSpec = errors.New("sim: invalid spec")
+	// ErrCanceled is wrapped by every error caused by context cancellation
+	// or deadline expiry. The underlying context error is also in the
+	// wrap chain, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = errors.New("sim: run canceled")
+)
+
+// invalidSpec builds an ErrInvalidSpec-wrapping error.
+func invalidSpec(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidSpec, fmt.Sprintf(format, args...))
+}
+
+// canceledError carries both sentinels: ErrCanceled and the context cause.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string {
+	return ErrCanceled.Error() + ": " + e.cause.Error()
+}
+
+func (e *canceledError) Unwrap() []error { return []error{ErrCanceled, e.cause} }
+
+// wrapCanceled converts a context error (or an error chain containing one)
+// into an ErrCanceled-wrapping error; other errors pass through unchanged.
+func wrapCanceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrCanceled) {
+		return err // already wrapped by a nested Run* call
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &canceledError{cause: err}
+	}
+	return err
+}
+
+// checkCtx returns a wrapped ErrCanceled when ctx is done, nil otherwise —
+// the per-interval cancellation probe of every simulation loop.
+func checkCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return &canceledError{cause: err}
+	}
+	return nil
+}

@@ -1,13 +1,11 @@
 package sim
 
 import (
-	"fmt"
+	"context"
 
 	"daasscale/internal/budget"
-	"daasscale/internal/core"
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
-	"daasscale/internal/policy"
 	"daasscale/internal/resource"
 	"daasscale/internal/trace"
 	"daasscale/internal/workload"
@@ -72,80 +70,11 @@ func (c Comparison) MustByPolicy(name string) Result {
 // baselines (Peak, Avg, Trace) are derived from a Max run of the identical
 // workload, then every policy replays the exact same offered load
 // (deterministic generator), matching the paper's methodology.
+//
+// Deprecated: use NewRunner().RunComparison(ctx, cs), which adds context
+// cancellation, uniform ErrInvalidSpec validation, and fans the five
+// post-Max policy runs across a worker pool (the results are bit-identical
+// to this serial wrapper).
 func RunComparison(cs ComparisonSpec) (Comparison, error) {
-	if cs.Workload == nil || cs.Trace == nil {
-		return Comparison{}, fmt.Errorf("sim: Workload and Trace are required")
-	}
-	if cs.GoalFactor <= 1 {
-		return Comparison{}, fmt.Errorf("sim: GoalFactor must exceed 1, got %v", cs.GoalFactor)
-	}
-	cat := cs.Catalog
-	if cat == nil {
-		cat = resource.LockStepCatalog()
-	}
-	// Databases are measured warmed up, as in the paper's runs; without
-	// this every online policy pays an artificial cold-start I/O storm.
-	cs.EngineOpts.WarmStart = true
-	off, err := DeriveOffline(cat, cs.Workload, cs.Trace, cs.Seed, cs.EngineOpts)
-	if err != nil {
-		return Comparison{}, err
-	}
-	goal := cs.GoalFactor * off.MaxResult.P95Ms
-	comp := Comparison{GoalMs: goal}
-	maxRes := off.MaxResult
-	maxRes.GoalMs = goal
-	comp.Results = append(comp.Results, maxRes)
-
-	runOne := func(p policy.Policy) error {
-		r, err := Run(Spec{
-			Workload:   cs.Workload,
-			Trace:      cs.Trace,
-			Policy:     p,
-			Seed:       cs.Seed,
-			EngineOpts: cs.EngineOpts,
-			GoalMs:     goal,
-		})
-		if err != nil {
-			return fmt.Errorf("sim: policy %s: %w", p.Name(), err)
-		}
-		comp.Results = append(comp.Results, r)
-		return nil
-	}
-
-	if err := runOne(policy.NewStatic("Peak", off.Peak)); err != nil {
-		return Comparison{}, err
-	}
-	if err := runOne(policy.NewStatic("Avg", off.Avg)); err != nil {
-		return Comparison{}, err
-	}
-	oracle, err := policy.NewTraceOracle(off.Schedule)
-	if err != nil {
-		return Comparison{}, err
-	}
-	if err := runOne(oracle); err != nil {
-		return Comparison{}, err
-	}
-	util, err := policy.NewUtil(cat, cat.Smallest(), policy.DefaultUtilConfig(goal))
-	if err != nil {
-		return Comparison{}, err
-	}
-	if err := runOne(util); err != nil {
-		return Comparison{}, err
-	}
-	scaler, err := core.New(core.Config{
-		Catalog:           cat,
-		Initial:           cat.Smallest(),
-		Goal:              core.LatencyGoal{Kind: core.GoalP95, Ms: goal},
-		Budget:            cs.AutoBudget,
-		Sensitivity:       cs.Sensitivity,
-		Thresholds:        cs.Thresholds,
-		DisableBallooning: cs.DisableBallooning,
-	})
-	if err != nil {
-		return Comparison{}, err
-	}
-	if err := runOne(policy.NewAuto(scaler)); err != nil {
-		return Comparison{}, err
-	}
-	return comp, nil
+	return NewRunner().RunComparison(context.Background(), cs)
 }

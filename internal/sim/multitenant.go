@@ -1,13 +1,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"daasscale/internal/core"
 	"daasscale/internal/engine"
+	"daasscale/internal/exec"
 	"daasscale/internal/fabric"
 	"daasscale/internal/resource"
 	"daasscale/internal/stats"
+	"daasscale/internal/telemetry"
 	"daasscale/internal/trace"
 	"daasscale/internal/workload"
 )
@@ -21,7 +24,9 @@ type TenantSpec struct {
 	Trace    *trace.Trace
 	// GoalMs is the tenant's p95 latency goal (0 = demand-driven only).
 	GoalMs float64
-	// Seed makes the tenant's run reproducible.
+	// Seed makes the tenant's run reproducible. When zero, a tenant seed is
+	// derived deterministically from the cluster Seed and the tenant ID
+	// (exec.SplitSeedString), so large fleets need not enumerate seeds.
 	Seed int64
 }
 
@@ -56,7 +61,7 @@ type MultiTenantResult struct {
 type MultiTenantSpec struct {
 	// Catalog of containers (nil → default lock-step catalog).
 	Catalog *resource.Catalog
-	// Tenants to host. Required, non-empty.
+	// Tenants to host. Required, non-empty, with unique IDs.
 	Tenants []TenantSpec
 	// Servers is the cluster size (0 → enough servers for one largest
 	// container per two tenants, at least one).
@@ -65,6 +70,9 @@ type MultiTenantSpec struct {
 	Policy fabric.PlacementPolicy
 	// EngineOpts tunes the substrate.
 	EngineOpts engine.Options
+	// Seed is the cluster-level base seed from which tenants with a zero
+	// Seed derive theirs (split by tenant ID).
+	Seed int64
 }
 
 // RunMultiTenant executes the cluster simulation. Each tenant gets its own
@@ -73,14 +81,42 @@ type MultiTenantSpec struct {
 // may migrate tenants between servers or refuse a resize outright when the
 // cluster has no room — in which case the tenant keeps its container and
 // the controller reconciles.
+//
+// Deprecated: use NewRunner().RunMultiTenant(ctx, spec), which adds
+// context cancellation and a progress hook. This wrapper already fans
+// per-tenant engine work across every available core; worker count never
+// changes results (they are bit-identical at any parallelism).
 func RunMultiTenant(spec MultiTenantSpec) (MultiTenantResult, error) {
-	if len(spec.Tenants) == 0 {
-		return MultiTenantResult{}, fmt.Errorf("sim: at least one tenant required")
-	}
+	return NewRunner().RunMultiTenant(context.Background(), spec)
+}
+
+// tenantState is one tenant's private simulation state. During the tick
+// phase workers touch only their own tenantState (index-addressed), which
+// is what makes the fan-out race-free and deterministic.
+type tenantState struct {
+	spec    TenantSpec
+	eng     *engine.Engine
+	scaler  *core.AutoScaler
+	gen     *workload.Generator
+	samples []float64
+	snap    telemetry.Snapshot
+	res     TenantResult
+}
+
+// runMultiTenant is the context-aware, pool-parallel implementation behind
+// Runner.RunMultiTenant. The spec must already be validated and resolved.
+//
+// The interval loop is split into two phases. Phase 1 — the engine ticks
+// and interval snapshot, the overwhelming bulk of the cycles — is
+// embarrassingly parallel: tenants interact only through the fabric, and
+// the fabric is never read or written while ticking. Phase 2 — observe,
+// resize through the shared fabric, reconcile — runs serially in tenant
+// order, exactly as the historical serial loop ordered it. Because a
+// tenant's ticks depend only on its own engine state and its own previous
+// decision, the two-phase schedule produces bit-identical results to the
+// serial interleaving at any worker count.
+func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) (MultiTenantResult, error) {
 	cat := spec.Catalog
-	if cat == nil {
-		cat = resource.LockStepCatalog()
-	}
 	servers := spec.Servers
 	if servers == 0 {
 		servers = (len(spec.Tenants) + 1) / 2
@@ -90,37 +126,27 @@ func RunMultiTenant(spec MultiTenantSpec) (MultiTenantResult, error) {
 		return MultiTenantResult{}, err
 	}
 
-	type tenantState struct {
-		spec    TenantSpec
-		eng     *engine.Engine
-		scaler  *core.AutoScaler
-		gen     *workload.Generator
-		samples []float64
-		res     TenantResult
-	}
-	states := make([]*tenantState, 0, len(spec.Tenants))
+	// Build the per-tenant states in parallel: engine construction warms
+	// buffer pools and is itself per-tenant work. Placement happens
+	// serially afterwards — the fabric is shared state.
 	intervals := 0
 	for _, ts := range spec.Tenants {
-		if ts.Workload == nil || ts.Trace == nil {
-			return MultiTenantResult{}, fmt.Errorf("sim: tenant %q needs a workload and a trace", ts.ID)
-		}
 		if ts.Trace.Len() > intervals {
 			intervals = ts.Trace.Len()
 		}
-		goal := core.LatencyGoal{}
-		if ts.GoalMs > 0 {
-			goal = core.LatencyGoal{Kind: core.GoalP95, Ms: ts.GoalMs}
+	}
+	states, err := execMapPool(ctx, pool, len(spec.Tenants), func(ctx context.Context, i int) (*tenantState, error) {
+		ts := spec.Tenants[i]
+		if ts.Seed == 0 {
+			ts.Seed = exec.SplitSeedString(spec.Seed, ts.ID)
 		}
-		scaler, err := core.New(core.Config{Catalog: cat, Initial: cat.Smallest(), Goal: goal})
+		scaler, err := autoScalerFor(cat, ts.GoalMs, nil)
 		if err != nil {
-			return MultiTenantResult{}, err
+			return nil, err
 		}
 		eng, err := engine.New(ts.Workload, scaler.Container(), ts.Seed, spec.EngineOpts)
 		if err != nil {
-			return MultiTenantResult{}, err
-		}
-		if err := fab.Place(ts.ID, scaler.Container()); err != nil {
-			return MultiTenantResult{}, fmt.Errorf("sim: placing tenant %q: %w", ts.ID, err)
+			return nil, err
 		}
 		st := &tenantState{
 			spec:   ts,
@@ -130,12 +156,25 @@ func RunMultiTenant(spec MultiTenantSpec) (MultiTenantResult, error) {
 			res:    TenantResult{ID: ts.ID},
 		}
 		eng.SetLatencySink(func(ms float64) { st.samples = append(st.samples, ms) })
-		states = append(states, st)
+		return st, nil
+	})
+	if err != nil {
+		return MultiTenantResult{}, err
+	}
+	for _, st := range states {
+		if err := fab.Place(st.spec.ID, st.scaler.Container()); err != nil {
+			return MultiTenantResult{}, fmt.Errorf("sim: placing tenant %q: %w", st.spec.ID, err)
+		}
 	}
 
 	out := MultiTenantResult{}
 	for m := 0; m < intervals; m++ {
-		for _, st := range states {
+		if err := checkCtx(ctx); err != nil {
+			return MultiTenantResult{}, fmt.Errorf("sim: cluster interval %d: %w", m, err)
+		}
+		// Phase 1: every tenant's billing interval, fanned across workers.
+		err := pool.Run(ctx, len(states), func(_ context.Context, i int) error {
+			st := states[i]
 			target := st.spec.Trace.At(m)
 			if m >= st.spec.Trace.Len() {
 				target = 0 // this tenant's trace ended; it idles
@@ -143,10 +182,17 @@ func RunMultiTenant(spec MultiTenantSpec) (MultiTenantResult, error) {
 			for t := 0; t < st.eng.TicksPerInterval(); t++ {
 				st.eng.Tick(st.gen.Offered(target))
 			}
-			snap := st.eng.EndInterval()
-			st.res.TotalCost += snap.Cost
-
-			d := st.scaler.Observe(snap)
+			st.snap = st.eng.EndInterval()
+			return nil
+		})
+		if err != nil {
+			return MultiTenantResult{}, wrapCanceled(err)
+		}
+		// Phase 2: decisions through the shared fabric, serial in tenant
+		// order (the fabric's placement state makes the order load-bearing).
+		for _, st := range states {
+			st.res.TotalCost += st.snap.Cost
+			d := st.scaler.Observe(st.snap)
 			if d.Changed {
 				if _, err := fab.Resize(st.spec.ID, d.Target); err != nil {
 					// Refused: the tenant keeps its container; reconcile the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"daasscale/internal/engine"
@@ -33,11 +34,22 @@ type OfflineBaselines struct {
 // derives the offline baselines from the observed resource usage, exactly
 // as the paper constructs Static(Peak), Static(Avg) and Trace.
 //
+// Deprecated: use Runner.DeriveOffline, which adds context cancellation.
+// This wrapper is equivalent to calling it with context.Background().
+func DeriveOffline(cat *resource.Catalog, w *workload.Workload, tr *trace.Trace, seed int64, opts engine.Options) (OfflineBaselines, error) {
+	return deriveOffline(context.Background(), cat, w, tr, seed, opts)
+}
+
+// deriveOffline is the context-aware implementation.
+//
 // Memory requirements per interval are taken as the cached bytes clamped to
 // a small margin above the working set: on Max the cache grows far past the
 // hot set, but a container only *needs* to hold the working set.
-func DeriveOffline(cat *resource.Catalog, w *workload.Workload, tr *trace.Trace, seed int64, opts engine.Options) (OfflineBaselines, error) {
-	maxRes, err := Run(Spec{
+func deriveOffline(ctx context.Context, cat *resource.Catalog, w *workload.Workload, tr *trace.Trace, seed int64, opts engine.Options) (OfflineBaselines, error) {
+	if err := requireCatalog(cat); err != nil {
+		return OfflineBaselines{}, err
+	}
+	maxRes, err := runSpecValidated(ctx, Spec{
 		Workload:   w,
 		Trace:      tr,
 		Policy:     policy.NewMax(cat),

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -100,10 +101,27 @@ type Result struct {
 func (r Result) MeetsGoal(goalMs float64) bool { return r.P95Ms <= goalMs }
 
 // Run executes the experiment.
+//
+// Deprecated: use NewRunner().Run(ctx, spec), which adds context
+// cancellation and uniform ErrInvalidSpec validation. This wrapper is
+// equivalent to calling it with context.Background().
 func Run(spec Spec) (Result, error) {
-	if spec.Workload == nil || spec.Trace == nil || spec.Policy == nil {
-		return Result{}, fmt.Errorf("sim: Workload, Trace and Policy are required")
+	return NewRunner().Run(context.Background(), spec)
+}
+
+// runSpecValidated validates and runs — for internal callers that bypass a
+// Runner's default resolution.
+func runSpecValidated(ctx context.Context, spec Spec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
 	}
+	return runSpec(ctx, spec)
+}
+
+// runSpec is the single-run simulation loop behind Runner.Run and every
+// composite runner. The spec must already be validated; the context is
+// probed once per billing interval.
+func runSpec(ctx context.Context, spec Spec) (Result, error) {
 	if spec.Jitter == 0 {
 		spec.Jitter = 0.1
 	}
@@ -123,6 +141,9 @@ func Run(spec Spec) (Result, error) {
 	}
 	ticks := eng.TicksPerInterval()
 	for m := 0; m < spec.Trace.Len(); m++ {
+		if err := checkCtx(ctx); err != nil {
+			return Result{}, fmt.Errorf("sim: %s×%s interval %d: %w", res.Workload, res.Trace, m, err)
+		}
 		target := spec.Trace.At(m)
 		for t := 0; t < ticks; t++ {
 			eng.Tick(gen.Offered(target))
