@@ -1,10 +1,11 @@
 # Build/verify entry points. `make verify` is the tier-1 gate: a clean
-# build, the full test suite, vet, and the race detector over the short
-# suite (the parallel executor paths are exercised under -race there).
+# build, the full test suite, vet, the race detector over the short suite
+# (the parallel executor paths are exercised under -race there), and the
+# zero-allocation gate on the telemetry hot path.
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench
+.PHONY: all build test vet race alloc-gate verify bench bench-all
 
 all: verify
 
@@ -20,7 +21,21 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-verify: build test vet race
+# The allocation gate: testing.AllocsPerRun must report zero heap
+# allocations for a warm Manager.Signals decision point and for the warm
+# stats kernels. Run without -race (its instrumentation allocates).
+alloc-gate:
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/telemetry ./internal/stats
 
+verify: build test vet race alloc-gate
+
+# The telemetry hot-path benchmarks; headline numbers land in
+# BENCH_telemetry.json.
 bench:
+	BENCH_JSON=BENCH_telemetry.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkSignalsWindow10|BenchmarkTheilSen|BenchmarkTelemetry1kTenants' \
+		-benchmem .
+
+# Every benchmark, including the full paper-figure reproductions.
+bench-all:
 	$(GO) test -bench=. -benchmem .

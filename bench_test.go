@@ -12,12 +12,14 @@ package daasscale_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"daasscale/internal/budget"
 	"daasscale/internal/core"
@@ -53,6 +55,51 @@ func printOnce(key string, f func()) {
 	}
 	printed[key] = true
 	f()
+}
+
+// benchRecords collects the headline numbers of the telemetry hot-path
+// benchmarks; TestMain writes them to the file named by the BENCH_JSON
+// environment variable (the `make bench` target sets BENCH_telemetry.json).
+var (
+	benchRecMu   sync.Mutex
+	benchRecords = map[string]map[string]float64{}
+)
+
+func recordBench(name string, metrics map[string]float64) {
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	benchRecords[name] = metrics
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && code == 0 {
+		if err := writeBenchJSON(path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchJSON(path string) error {
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	if len(benchRecords) == 0 {
+		return nil // no telemetry benchmarks ran; leave any existing file alone
+	}
+	out := struct {
+		Note       string                        `json:"note"`
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	}{
+		Note:       "telemetry hot-path benchmarks; regenerate with `make bench`",
+		Benchmarks: benchRecords,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // comparisonCache avoids recomputing identical six-policy comparisons when
@@ -1032,4 +1079,272 @@ func BenchmarkParallelClusterReplay(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// The zero-allocation telemetry pipeline: per-decision-point cost of the
+// Manager hot path, the selection-based Theil–Sen kernel, and a 1000-tenant
+// end-to-end fleet pass measured against the retained pre-optimization
+// implementation (SignalsReference). Equivalence is asserted bit for bit
+// before anything is timed, so every speedup below is a pure implementation
+// delta. `make bench` records the headline numbers in BENCH_telemetry.json.
+// ---------------------------------------------------------------------------
+
+// benchSnapshot populates a telemetry snapshot with noisy but finite values,
+// including frequent ties and idle (zero) wait classes, so the selection
+// kernels see realistic duplicate-heavy columns.
+func benchSnapshot(rng *rand.Rand, interval int) telemetry.Snapshot {
+	var s telemetry.Snapshot
+	s.Interval = interval
+	s.Container = "C1"
+	s.Step = 1
+	s.Cost = 2
+	for _, k := range resource.Kinds {
+		s.Utilization[k] = float64(rng.Intn(20)) / 20
+		s.UtilizationPeak[k] = s.Utilization[k]
+	}
+	for i := range s.WaitMs {
+		if rng.Intn(3) == 0 {
+			s.WaitMs[i] = 0
+		} else {
+			s.WaitMs[i] = rng.Float64() * 50_000
+		}
+	}
+	s.AvgLatencyMs = 20 + rng.Float64()*100
+	s.P95LatencyMs = s.AvgLatencyMs * (1.5 + rng.Float64())
+	s.Transactions = rng.Float64() * 1e4
+	s.OfferedRPS = rng.Float64() * 500
+	s.MemoryUsedMB = rng.Float64() * 4096
+	s.PhysicalReads = rng.Float64() * 1e5
+	s.PhysicalWrites = rng.Float64() * 1e4
+	return s
+}
+
+// warmManager returns a manager at the default window fed through one full
+// wrap of the ring, with its scratch arenas warmed by a Signals call.
+func warmManager(b *testing.B, snaps []telemetry.Snapshot) *telemetry.Manager {
+	b.Helper()
+	m := telemetry.NewManager(telemetry.DefaultWindow)
+	for _, s := range snaps[:2*telemetry.DefaultWindow] {
+		m.Observe(s)
+	}
+	if _, ok := m.Signals(); !ok {
+		b.Fatal("no signals after warm-up")
+	}
+	return m
+}
+
+// BenchmarkSignalsWindow10 measures one decision point — Observe plus
+// Signals at the default window of 10 — on the zero-allocation fast path
+// and on the retained reference implementation.
+func BenchmarkSignalsWindow10(b *testing.B) {
+	rng := rand.New(rand.NewSource(benchSeed))
+	snaps := make([]telemetry.Snapshot, 64)
+	for i := range snaps {
+		snaps[i] = benchSnapshot(rng, i)
+	}
+
+	b.Run("fast", func(b *testing.B) {
+		m := warmManager(b, snaps)
+		next := 2 * telemetry.DefaultWindow
+		allocs := testing.AllocsPerRun(100, func() {
+			m.Observe(snaps[next%len(snaps)])
+			next++
+			if _, ok := m.Signals(); !ok {
+				b.Fatal("signals unavailable")
+			}
+		})
+		if allocs != 0 && !raceEnabled {
+			b.Fatalf("warm Observe+Signals allocated %v times per run, want 0", allocs)
+		}
+		b.ReportMetric(allocs, "allocs/decision")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Observe(snaps[i%len(snaps)])
+			if _, ok := m.Signals(); !ok {
+				b.Fatal("signals unavailable")
+			}
+		}
+		recordBench("SignalsWindow10/fast", map[string]float64{
+			"ns_per_op":     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			"allocs_per_op": allocs,
+		})
+	})
+
+	b.Run("reference", func(b *testing.B) {
+		m := warmManager(b, snaps)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Observe(snaps[i%len(snaps)])
+			if _, ok := m.SignalsReference(); !ok {
+				b.Fatal("signals unavailable")
+			}
+		}
+		recordBench("SignalsWindow10/reference", map[string]float64{
+			"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+}
+
+// BenchmarkTheilSen compares the allocating Theil–Sen entry point with the
+// buffer-reusing kernel on a window-10 series (45 pairwise slopes).
+func BenchmarkTheilSen(b *testing.B) {
+	rng := rand.New(rand.NewSource(benchSeed))
+	n := telemetry.DefaultWindow
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2.5*float64(i) + rng.NormFloat64()*3
+	}
+
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.TheilSenReference(xs, ys, stats.DefaultTrendAlpha); err != nil {
+				b.Fatal(err)
+			}
+		}
+		recordBench("TheilSen/reference", map[string]float64{
+			"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+
+	b.Run("alloc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.TheilSen(xs, ys, stats.DefaultTrendAlpha); err != nil {
+				b.Fatal(err)
+			}
+		}
+		recordBench("TheilSen/alloc", map[string]float64{
+			"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+
+	b.Run("buf", func(b *testing.B) {
+		var buf []float64
+		if _, err := stats.TheilSenBuf(xs, ys, stats.DefaultTrendAlpha, &buf); err != nil {
+			b.Fatal(err) // warm the slope buffer
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := stats.TheilSenBuf(xs, ys, stats.DefaultTrendAlpha, &buf); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if allocs != 0 && !raceEnabled {
+			b.Fatalf("warm TheilSenBuf allocated %v times per run, want 0", allocs)
+		}
+		b.ReportMetric(allocs, "allocs/op")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.TheilSenBuf(xs, ys, stats.DefaultTrendAlpha, &buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		recordBench("TheilSen/buf", map[string]float64{
+			"ns_per_op":     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			"allocs_per_op": allocs,
+		})
+	})
+}
+
+// BenchmarkTelemetry1kTenants is the end-to-end acceptance benchmark: 1000
+// tenants, each running a full telemetry stream of 25 billing intervals
+// (Observe + Signals every interval), against the same fleet pass on the
+// retained pre-optimization path. Bit-identity of every tenant's every
+// decision point is asserted before timing; the fast path must be at least
+// 2× faster per pass.
+func BenchmarkTelemetry1kTenants(b *testing.B) {
+	const tenants = 1000
+	const intervals = 25
+	rng := rand.New(rand.NewSource(benchSeed))
+	streams := make([][]telemetry.Snapshot, tenants)
+	for i := range streams {
+		stream := make([]telemetry.Snapshot, intervals)
+		for j := range stream {
+			stream[j] = benchSnapshot(rng, j)
+		}
+		streams[i] = stream
+	}
+	mgrs := make([]*telemetry.Manager, tenants)
+	for i := range mgrs {
+		mgrs[i] = telemetry.NewManager(telemetry.DefaultWindow)
+	}
+
+	// Bit-identity first: every tenant, every interval, fast path vs oracle.
+	for i, stream := range streams {
+		m := mgrs[i]
+		m.Reset()
+		for j, s := range stream {
+			m.Observe(s)
+			got, okGot := m.Signals()
+			want, okWant := m.SignalsReference()
+			if okGot != okWant {
+				b.Fatalf("tenant %d interval %d: ok mismatch %v vs %v", i, j, okGot, okWant)
+			}
+			if okGot && !reflect.DeepEqual(got, want) {
+				b.Fatalf("tenant %d interval %d: fast-path Signals diverged from reference", i, j)
+			}
+		}
+	}
+
+	// One fleet pass: every tenant replays its stream through its (reset but
+	// arena-warm) manager; the sink folds a couple of signal fields so the
+	// work cannot be optimized away. Because both paths produce bit-identical
+	// Signals, the two sinks must be bitwise equal as well.
+	pass := func(signals func(*telemetry.Manager) (telemetry.Signals, bool)) float64 {
+		var sink float64
+		for i, stream := range streams {
+			m := mgrs[i]
+			m.Reset()
+			for _, s := range stream {
+				m.Observe(s)
+				if sig, ok := signals(m); ok {
+					sink += sig.Latency.P95Ms + sig.OfferedRPS
+				}
+			}
+		}
+		return sink
+	}
+	optimized := func() float64 { return pass((*telemetry.Manager).Signals) }
+	reference := func() float64 { return pass((*telemetry.Manager).SignalsReference) }
+
+	bestOf := func(f func() float64, reps int) (float64, float64) {
+		bestNs, sink := -1.0, 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			sink = f()
+			if ns := float64(time.Since(start).Nanoseconds()); bestNs < 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs, sink
+	}
+	refNs, refSink := bestOf(reference, 3)
+	optNs, optSink := bestOf(optimized, 3)
+	if refSink != optSink {
+		b.Fatalf("fleet pass sinks diverge: fast %v vs reference %v", optSink, refSink)
+	}
+	speedup := refNs / optNs
+	if speedup < 2 && !raceEnabled {
+		b.Fatalf("fast path is only %.2fx faster than the reference pass, want >= 2x", speedup)
+	}
+	printOnce("telemetry-1k", func() {
+		fmt.Printf("\nTelemetry hot path: 1000-tenant fleet pass %.1f ms -> %.1f ms (%.1fx)\n",
+			refNs/1e6, optNs/1e6, speedup)
+	})
+	b.ReportMetric(speedup, "speedup-x")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optimized()
+	}
+	perPassNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perPassNs/(tenants*intervals), "ns/decision")
+	recordBench("Telemetry1kTenants", map[string]float64{
+		"tenants":              tenants,
+		"intervals_per_tenant": intervals,
+		"ns_per_pass_fast":     perPassNs,
+		"ns_per_pass_ref":      refNs,
+		"speedup_x":            speedup,
+	})
 }

@@ -26,9 +26,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"daasscale/internal/resource"
+	"daasscale/internal/stats"
 	"daasscale/internal/telemetry"
 	"daasscale/internal/workload"
 )
@@ -160,6 +160,8 @@ type Engine struct {
 
 	latencySink func(ms float64)
 
+	// lastWaitTypes is a per-engine scratch map, cleared and refilled each
+	// interval; LastIntervalWaitTypes hands out copies.
 	lastWaitTypes map[telemetry.WaitType]float64
 
 	acc intervalAccumulator
@@ -179,6 +181,15 @@ type intervalAccumulator struct {
 	physReads         float64
 	physWrites        float64
 	ticks             int
+}
+
+// reset clears the accumulator for the next interval while keeping the
+// latency-sample backing array, so steady-state interval turnover does not
+// reallocate it.
+func (a *intervalAccumulator) reset() {
+	lat := a.latSamples[:0]
+	*a = intervalAccumulator{}
+	a.latSamples = lat
 }
 
 // New creates an engine for the workload inside the given container. The
@@ -506,20 +517,24 @@ func (e *Engine) EndInterval() telemetry.Snapshot {
 			sum += l
 		}
 		s.AvgLatencyMs = sum / float64(len(a.latSamples))
-		s.P95LatencyMs = quantile(a.latSamples, 0.95)
+		// The samples are discarded right after, so select the tail
+		// percentile in place — no copy, no sort.
+		s.P95LatencyMs = stats.QuantileSelect(a.latSamples, 0.95)
 	}
 	// Emit the interval's waits in the shape a real DBMS reports them:
 	// per engine wait type, to be folded back into classes by the telemetry
-	// manager's mapping rules (Section 3.1 of the paper).
-	byType := make(map[telemetry.WaitType]float64)
-	for _, class := range telemetry.WaitClasses {
-		for t, ms := range telemetry.SplitClassWaits(class, a.waitMs[class]) {
-			byType[t] += ms
-		}
+	// manager's mapping rules (Section 3.1 of the paper). The map is a
+	// reused per-engine scratch; LastIntervalWaitTypes hands out copies.
+	if e.lastWaitTypes == nil {
+		e.lastWaitTypes = make(map[telemetry.WaitType]float64, 32)
+	} else {
+		clear(e.lastWaitTypes)
 	}
-	e.lastWaitTypes = byType
+	for _, class := range telemetry.WaitClasses {
+		telemetry.AddClassWaits(e.lastWaitTypes, class, a.waitMs[class])
+	}
 
-	e.acc = intervalAccumulator{}
+	e.acc.reset()
 	e.intervalIndex++
 	return s
 }
@@ -536,20 +551,3 @@ func (e *Engine) LastIntervalWaitTypes() map[telemetry.WaitType]float64 {
 	return out
 }
 
-// quantile avoids importing stats to keep the engine dependency-light; it
-// matches stats.Quantile's interpolation.
-func quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	pos := q * float64(len(s)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return s[lo]
-	}
-	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
-}

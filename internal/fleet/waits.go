@@ -126,14 +126,23 @@ func (d WaitDistributions) Separation() float64 {
 // for one resource across all samples — Figure 4's "increasing trend with a
 // wide band": positive but far from 1.
 func Correlation(samples []WaitSample, k resource.Kind) (float64, error) {
-	var util, wait []float64
+	n := 0
+	for _, s := range samples {
+		if s.Kind == k {
+			n++
+		}
+	}
+	// One backing array for both columns plus the rank scratch, sized once.
+	cols := make([]float64, 0, 2*n)
+	util, wait := cols[0:0:n], cols[n:n:2*n]
 	for _, s := range samples {
 		if s.Kind == k {
 			util = append(util, s.Utilization)
 			wait = append(wait, s.WaitMs)
 		}
 	}
-	return stats.Spearman(util, wait)
+	var sc stats.SpearmanScratch
+	return stats.SpearmanBuf(util, wait, &sc)
 }
 
 // Calibrate derives estimator thresholds from fleet wait samples, following
@@ -154,8 +163,10 @@ func Calibrate(samples []WaitSample) estimator.Thresholds {
 		if len(d.LowUtilWaitMs) < 30 || len(d.HighUtilWaitMs) < 30 {
 			continue
 		}
-		low := stats.Clamp(stats.Quantile(d.LowUtilWaitMs, 0.90), 2_000, 50_000)
-		high := stats.Clamp(stats.Quantile(d.HighUtilWaitMs, 0.10), 2*low, 200_000)
+		// d is private to this loop iteration, so the per-threshold
+		// percentiles select in place instead of copying and sorting.
+		low := stats.Clamp(stats.QuantileSelect(d.LowUtilWaitMs, 0.90), 2_000, 50_000)
+		high := stats.Clamp(stats.QuantileSelect(d.HighUtilWaitMs, 0.10), 2*low, 200_000)
 		th.WaitLowMs[k] = low
 		th.WaitHighMs[k] = high
 	}

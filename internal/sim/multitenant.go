@@ -221,7 +221,8 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 			st.res.AvgCostPerInterval = st.res.TotalCost / float64(intervals)
 		}
 		if len(st.samples) > 0 {
-			st.res.P95Ms = stats.Quantile(st.samples, 0.95)
+			// The per-tenant sample buffer is dead after this aggregate.
+			st.res.P95Ms = stats.QuantileSelect(st.samples, 0.95)
 		}
 		out.Tenants = append(out.Tenants, st.res)
 	}

@@ -84,8 +84,10 @@ func deriveOffline(ctx context.Context, cat *resource.Catalog, w *workload.Workl
 
 	var peakDemand, avgDemand resource.Vector
 	for _, k := range resource.Kinds {
-		peakDemand[k] = stats.Quantile(perKind[k], 0.95)
+		// The per-kind columns are private scratch; Mean is order-blind, so
+		// the percentile can select in place.
 		avgDemand[k] = stats.Mean(perKind[k])
+		peakDemand[k] = stats.QuantileSelect(perKind[k], 0.95)
 	}
 	peak, _ := cat.SmallestFitting(peakDemand)
 	avg, _ := cat.SmallestFitting(avgDemand)

@@ -191,7 +191,9 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		res.ChangeFraction = float64(res.Changes) / float64(res.Intervals)
 	}
 	if len(samples) > 0 {
-		res.P95Ms = stats.Quantile(samples, 0.95)
+		// samples is private to this run and dead after these aggregates, so
+		// the percentile selects in place (order is irrelevant to Mean).
+		res.P95Ms = stats.QuantileSelect(samples, 0.95)
 		res.AvgMs = stats.Mean(samples)
 	}
 	return res, nil

@@ -1,0 +1,140 @@
+// Selection-based order-statistic kernels for the per-tenant telemetry hot
+// path. The sort-based Quantile/Median copy their input and pay an
+// O(n log n) sort per call; at fleet scale the telemetry manager computes a
+// dozen medians per tenant per billing interval, so the copies and sorts
+// dominate. QuantileSelect and MedianInPlace reorder a caller-owned slice
+// with introselect — expected O(n), no allocation — and return values that
+// are bit-identical to the sort-based path (the same order statistics fed
+// through the same interpolation expression), which the property tests in
+// select_test.go assert on random, tied and adversarial inputs.
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// MedianInPlace returns the median of xs, reordering xs. It is
+// bit-identical to Median on the same multiset of values. Returns NaN for
+// empty input. NaNs in the input make the result unspecified (as with
+// Median).
+func MedianInPlace(xs []float64) float64 {
+	return QuantileSelect(xs, 0.5)
+}
+
+// QuantileSelect returns the q-quantile of xs (0 ≤ q ≤ 1) with the same
+// linear interpolation between order statistics as Quantile, but selects
+// the needed order statistics in place with introselect instead of sorting
+// a copy: expected O(n), zero allocations, xs reordered. Returns NaN for
+// empty input.
+func QuantileSelect(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		m := xs[0]
+		for _, v := range xs[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	if q >= 1 {
+		m := xs[0]
+		for _, v := range xs[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	selectKth(xs, lo)
+	if lo == hi {
+		return xs[lo]
+	}
+	// hi == lo+1: after selection everything right of lo is ≥ xs[lo], so
+	// the next order statistic is the minimum of that suffix.
+	hiVal := xs[hi]
+	for _, v := range xs[hi+1:] {
+		if v < hiVal {
+			hiVal = v
+		}
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + hiVal*frac
+}
+
+// selectKth partially sorts xs so that xs[k] holds the k-th order statistic
+// (0-based), everything before it is ≤ xs[k] and everything after is ≥
+// xs[k]. Introselect: quickselect with a median-of-three pivot, an
+// insertion-sort base case, and a full sort of the remaining range once the
+// recursion depth budget is exhausted (which bounds the worst case at
+// O(n log n) even on adversarial inputs such as all-equal runs).
+func selectKth(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	depth := 2 * bits.Len(uint(len(xs)))
+	for hi > lo {
+		if hi-lo < 12 {
+			insertionSort(xs, lo, hi)
+			return
+		}
+		if depth == 0 {
+			sort.Float64s(xs[lo : hi+1])
+			return
+		}
+		depth--
+		p := partitionMedian3(xs, lo, hi)
+		switch {
+		case k < p:
+			hi = p - 1
+		case k > p:
+			lo = p + 1
+		default:
+			return
+		}
+	}
+}
+
+// partitionMedian3 partitions xs[lo..hi] around the median of the first,
+// middle and last elements and returns the pivot's final index.
+func partitionMedian3(xs []float64, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if xs[mid] < xs[lo] {
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+	}
+	if xs[hi] < xs[lo] {
+		xs[hi], xs[lo] = xs[lo], xs[hi]
+	}
+	if xs[hi] < xs[mid] {
+		xs[hi], xs[mid] = xs[mid], xs[hi]
+	}
+	xs[mid], xs[hi] = xs[hi], xs[mid] // pivot to the end
+	pivot := xs[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi] = xs[hi], xs[i]
+	return i
+}
+
+func insertionSort(xs []float64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= lo && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// adversarialSeries are fixed inputs that historically break selection and
+// ranking code: ties everywhere, sorted/reversed runs, constant series,
+// two-value series, and sign changes.
+func adversarialSeries() [][]float64 {
+	return [][]float64{
+		{1},
+		{2, 1},
+		{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14},
+		{14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0},
+		{-3, 7, -3, 7, 0, 0, 0, -3, 7, 1e9, -1e9, 0.5},
+		{2.5, 2.5, 1, 1, 1, 9, 9, 9, 9, 2.5},
+	}
+}
+
+func TestQuantileSelectMatchesQuantileProperty(t *testing.T) {
+	f := func(raw []float64, q16 uint16) bool {
+		xs := cleanSeries(raw, 1)
+		q := float64(q16) / math.MaxUint16
+		own := append([]float64(nil), xs...)
+		got := QuantileSelect(own, q)
+		want := QuantileReference(xs, q)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileSelectAdversarial(t *testing.T) {
+	for _, xs := range adversarialSeries() {
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1} {
+			own := append([]float64(nil), xs...)
+			got := QuantileSelect(own, q)
+			want := QuantileReference(xs, q)
+			if got != want {
+				t.Errorf("QuantileSelect(%v, %v) = %v, want %v", xs, q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileSelectPreservesMultiset(t *testing.T) {
+	f := func(raw []float64, q16 uint16) bool {
+		xs := cleanSeries(raw, 1)
+		q := float64(q16) / math.MaxUint16
+		own := append([]float64(nil), xs...)
+		QuantileSelect(own, q)
+		a := append([]float64(nil), xs...)
+		sort.Float64s(a)
+		sort.Float64s(own)
+		for i := range a {
+			if a[i] != own[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianInPlaceMatchesMedian(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := cleanSeries(raw, 1)
+		own := append([]float64(nil), xs...)
+		return MedianInPlace(own) == MedianReference(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// trendEqual demands bit-identical Trend fields (the equivalence contract
+// of the buffered kernels).
+func trendEqual(a, b Trend) bool {
+	return a.Slope == b.Slope && a.Intercept == b.Intercept &&
+		a.Significant == b.Significant && a.Agreement == b.Agreement && a.N == b.N
+}
+
+func TestTheilSenBufMatchesTheilSenProperty(t *testing.T) {
+	var buf []float64 // reused across trials, as the manager reuses it
+	f := func(raw []float64, alpha8 uint8) bool {
+		ys := cleanSeries(raw, 3)
+		alpha := float64(alpha8) / 255
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		want, errWant := TheilSenReference(xs, ys, alpha)
+		got, errGot := TheilSenBuf(xs, ys, alpha, &buf)
+		if (errWant == nil) != (errGot == nil) {
+			return false
+		}
+		return errWant != nil || trendEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheilSenBufAdversarial(t *testing.T) {
+	var buf []float64
+	cases := adversarialSeries()
+	// Constant-x series: every pairwise slope is skipped.
+	constX := make([]float64, 8)
+	for i := range constX {
+		constX[i] = 4
+	}
+	for _, ys := range cases {
+		for _, xs := range [][]float64{nil, constX[:min(len(constX), len(ys))]} {
+			if xs == nil {
+				xs = make([]float64, len(ys))
+				for i := range xs {
+					xs[i] = float64(i)
+				}
+			}
+			if len(xs) != len(ys) {
+				continue
+			}
+			want, errWant := TheilSenReference(xs, ys, DefaultTrendAlpha)
+			got, errGot := TheilSenBuf(xs, ys, DefaultTrendAlpha, &buf)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("error mismatch for ys=%v: %v vs %v", ys, errWant, errGot)
+			}
+			if errWant == nil && !trendEqual(got, want) {
+				t.Errorf("TheilSenBuf(%v) = %+v, want %+v", ys, got, want)
+			}
+		}
+	}
+}
+
+func TestTheilSenBufErrors(t *testing.T) {
+	var buf []float64
+	if _, err := TheilSenBuf([]float64{1, 2, 3}, []float64{1, 2}, 0.7, &buf); err != ErrLengthMismatch {
+		t.Errorf("length mismatch error = %v", err)
+	}
+	if _, err := TheilSenBuf([]float64{1, 2}, []float64{1, 2}, 0.7, &buf); err != ErrInsufficientData {
+		t.Errorf("short series error = %v", err)
+	}
+	if _, err := TheilSenBuf([]float64{5, 5, 5}, []float64{1, 2, 3}, 0.7, &buf); err != ErrInsufficientData {
+		t.Errorf("constant-x error = %v", err)
+	}
+}
+
+func TestSpearmanBufMatchesSpearmanProperty(t *testing.T) {
+	var sc SpearmanScratch
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(rng.NormFloat64() * 4) // coarse → frequent ties
+			ys[i] = math.Floor(rng.NormFloat64() * 4)
+		}
+		want, errWant := SpearmanReference(xs, ys)
+		got, errGot := SpearmanBuf(xs, ys, &sc)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("error mismatch: %v vs %v", errWant, errGot)
+		}
+		if got != want {
+			t.Fatalf("trial %d: SpearmanBuf = %v, want %v (xs=%v ys=%v)", trial, got, want, xs, ys)
+		}
+	}
+}
+
+func TestSpearmanBufAdversarial(t *testing.T) {
+	var sc SpearmanScratch
+	for _, ys := range adversarialSeries() {
+		if len(ys) < 3 {
+			continue
+		}
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i % 4) // tied x ranks
+		}
+		want, _ := SpearmanReference(xs, ys)
+		got, err := SpearmanBuf(xs, ys, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("SpearmanBuf(%v) = %v, want %v", ys, got, want)
+		}
+	}
+}
+
+func TestRanksIntoMatchesSortSliceReference(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := cleanSeries(raw, 1)
+		got := Ranks(xs)
+		want := RanksReference(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAtMatchesLinearScan(t *testing.T) {
+	linear := func(cdf []CDFPoint, v float64) float64 {
+		frac := 0.0
+		for _, p := range cdf {
+			if p.Value <= v {
+				frac = p.Fraction
+			} else {
+				break
+			}
+		}
+		return frac
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		xs := make([]float64, 1+rng.Intn(200))
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64() * 50) // ties collapse CDF points
+		}
+		cdf := CDF(xs)
+		for _, v := range []float64{-1, 0, 0.5, 10, 24.5, 49, 50, 1e9, xs[0]} {
+			if got, want := CDFAt(cdf, v), linear(cdf, v); got != want {
+				t.Fatalf("CDFAt(%v) = %v, want %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectKernelsZeroAllocWhenWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	xs := make([]float64, 10)
+	ys := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64((i * 7) % 10)
+	}
+	scratch := make([]float64, 10)
+	var buf []float64
+	var sc SpearmanScratch
+	// Warm the arenas once.
+	if _, err := TheilSenBuf(xs, ys, DefaultTrendAlpha, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpearmanBuf(xs, ys, &sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		copy(scratch, ys)
+		_ = MedianInPlace(scratch)
+		_ = QuantileSelect(scratch, 0.95)
+		if _, err := TheilSenBuf(xs, ys, DefaultTrendAlpha, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := SpearmanBuf(xs, ys, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm stats kernels allocated %v times per run, want 0", allocs)
+	}
+}

@@ -39,14 +39,14 @@ func Median(xs []float64) float64 {
 
 // Quantile returns the q-quantile of xs (0 ≤ q ≤ 1) using linear
 // interpolation between order statistics. xs is not modified. Returns NaN
-// for empty input.
+// for empty input. It is a thin copying wrapper over QuantileSelect; hot
+// paths that own their slice should call QuantileSelect directly.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	return quantileSorted(s, q)
+	return QuantileSelect(s, q)
 }
 
 // QuantileSorted is Quantile for data already sorted ascending. It does not
@@ -86,7 +86,8 @@ func MAD(xs []float64) float64 {
 	for i, x := range xs {
 		dev[i] = math.Abs(x - m)
 	}
-	return Median(dev)
+	return MedianInPlace(dev) // dev is private to this call
+
 }
 
 // Trend is the outcome of a trend estimation over a time series.
@@ -114,43 +115,12 @@ const DefaultTrendAlpha = 0.70
 // Theil–Sen estimator: the median of all pairwise slopes. The trend is
 // marked Significant only when at least alpha of the pairwise slopes are
 // positive, or at least alpha are negative (the paper's acceptance test).
-// Pairs with identical x are skipped. Requires at least 3 points.
+// Pairs with identical x are skipped. Requires at least 3 points. It is a
+// thin wrapper over TheilSenBuf with a throwaway slope buffer; hot paths
+// should hold a buffer and call TheilSenBuf.
 func TheilSen(xs, ys []float64, alpha float64) (Trend, error) {
-	if len(xs) != len(ys) {
-		return Trend{}, errors.New("stats: TheilSen requires equal-length series")
-	}
-	n := len(xs)
-	if n < 3 {
-		return Trend{}, ErrInsufficientData
-	}
-	slopes := make([]float64, 0, n*(n-1)/2)
-	var pos, neg int
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dx := xs[j] - xs[i]
-			if dx == 0 {
-				continue
-			}
-			m := (ys[j] - ys[i]) / dx
-			slopes = append(slopes, m)
-			switch {
-			case m > 0:
-				pos++
-			case m < 0:
-				neg++
-			}
-		}
-	}
-	if len(slopes) == 0 {
-		return Trend{}, ErrInsufficientData
-	}
-	slope := Median(slopes)
-	agreePos := float64(pos) / float64(len(slopes))
-	agreeNeg := float64(neg) / float64(len(slopes))
-	agree := math.Max(agreePos, agreeNeg)
-	sig := (slope > 0 && agreePos >= alpha) || (slope < 0 && agreeNeg >= alpha)
-	intercept := Median(ys) - slope*Median(xs)
-	return Trend{Slope: slope, Intercept: intercept, Significant: sig, Agreement: agree, N: n}, nil
+	var buf []float64
+	return TheilSenBuf(xs, ys, alpha, &buf)
 }
 
 // LeastSquares fits a line by ordinary least squares and reports R² as the
@@ -191,28 +161,11 @@ func LeastSquares(xs, ys []float64, alpha float64) (Trend, error) {
 }
 
 // Ranks assigns fractional ranks (1-based, ties get the average of the ranks
-// they span), the standard ranking used by Spearman correlation.
+// they span), the standard ranking used by Spearman correlation. It is a
+// thin wrapper over the scratch-reusing kernel behind SpearmanBuf.
 func Ranks(xs []float64) []float64 {
-	n := len(xs)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	ranks := make([]float64, n)
-	for i := 0; i < n; {
-		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
-			j++
-		}
-		// Average rank for the tie group [i, j].
-		avg := (float64(i) + float64(j)) / 2.0
-		for k := i; k <= j; k++ {
-			ranks[idx[k]] = avg + 1
-		}
-		i = j + 1
-	}
-	return ranks
+	var idx []int
+	return ranksInto(nil, xs, &idx)
 }
 
 // Pearson returns the Pearson product-moment correlation coefficient of xs
@@ -241,15 +194,11 @@ func Pearson(xs, ys []float64) (float64, error) {
 // Spearman returns Spearman's rank correlation coefficient ρ: the Pearson
 // coefficient computed on the ranks of xs and ys (Section 3.2.2). ρ detects
 // any monotone dependence, not just linear, and ranking bounds the influence
-// of outliers.
+// of outliers. It is a thin wrapper over SpearmanBuf with throwaway rank
+// scratch; hot paths should hold a SpearmanScratch and call SpearmanBuf.
 func Spearman(xs, ys []float64) (float64, error) {
-	if len(xs) != len(ys) {
-		return 0, errors.New("stats: Spearman requires equal-length series")
-	}
-	if len(xs) < 3 {
-		return 0, ErrInsufficientData
-	}
-	return Pearson(Ranks(xs), Ranks(ys))
+	var sc SpearmanScratch
+	return SpearmanBuf(xs, ys, &sc)
 }
 
 // CDFPoint is one point of an empirical cumulative distribution: Fraction of
@@ -280,16 +229,15 @@ func CDF(xs []float64) []CDFPoint {
 }
 
 // CDFAt returns the fraction of observations ≤ v in the empirical CDF.
+// cdf must be sorted ascending by Value (as CDF returns it); the lookup is
+// a binary search, so per-threshold probes during fleet calibration are
+// O(log n) instead of a linear scan.
 func CDFAt(cdf []CDFPoint, v float64) float64 {
-	frac := 0.0
-	for _, p := range cdf {
-		if p.Value <= v {
-			frac = p.Fraction
-		} else {
-			break
-		}
+	i := sort.Search(len(cdf), func(j int) bool { return cdf[j].Value > v })
+	if i == 0 {
+		return 0
 	}
-	return frac
+	return cdf[i-1].Fraction
 }
 
 // Bucket is one bin of a histogram over [Lo, Hi) holding Count observations.

@@ -106,10 +106,37 @@ func SteadySignals(s Snapshot) Signals {
 // Manager is the telemetry manager (Section 3): it retains a sliding window
 // of per-interval snapshots and derives the robust signals used for demand
 // estimation. The zero value is not usable; construct with NewManager.
+//
+// The window is a fixed-capacity ring buffer and every slice Signals needs
+// is a per-manager scratch arena, so after the arenas warm up (one Signals
+// call at full window) the manager performs zero heap allocations per
+// decision point — the property the fleet-scale simulator leans on (see
+// DESIGN.md, "Hot path & performance model"). Signals are additionally
+// cached between observations: repeated Signals() calls within one billing
+// interval return the cached value, and any Observe/ObserveRaw/Reset
+// invalidates it.
 type Manager struct {
 	window int
 	alpha  float64
-	snaps  []Snapshot
+
+	// ring holds the retained snapshots. It grows (once) to the window
+	// capacity; when full, head is the index of the oldest snapshot and new
+	// observations overwrite it in place.
+	ring []Snapshot
+	head int
+
+	// cached is the memoized output of the last Signals computation;
+	// cachedOK marks it valid until the next observation.
+	cached   Signals
+	cachedOK bool
+
+	// Scratch arenas, sized to the window on first use and reused forever:
+	// column buffers for the trend x-axis, p95 latency, the per-resource
+	// util/wait columns, and a median scratch; plus the Theil–Sen pairwise
+	// slope buffer and the Spearman rank/index scratch.
+	xs, p95, col, med []float64
+	tsBuf             []float64
+	spear             stats.SpearmanScratch
 }
 
 // DefaultWindow is the number of billing intervals the manager aggregates
@@ -126,16 +153,37 @@ func NewManager(window int) *Manager {
 	if window < MinIntervalsForSignals {
 		window = MinIntervalsForSignals
 	}
-	return &Manager{window: window, alpha: stats.DefaultTrendAlpha}
+	return &Manager{
+		window: window,
+		alpha:  stats.DefaultTrendAlpha,
+		ring:   make([]Snapshot, 0, window),
+	}
 }
 
 // Observe appends one billing interval's snapshot, evicting history beyond
-// the window.
+// the window. Once the ring is full, the oldest snapshot is overwritten in
+// place — no allocation, no copying of the retained window.
 func (m *Manager) Observe(s Snapshot) {
-	m.snaps = append(m.snaps, s)
-	if len(m.snaps) > m.window {
-		m.snaps = m.snaps[len(m.snaps)-m.window:]
+	if len(m.ring) < m.window {
+		m.ring = append(m.ring, s)
+	} else {
+		m.ring[m.head] = s
+		m.head++
+		if m.head == m.window {
+			m.head = 0
+		}
 	}
+	m.cachedOK = false
+}
+
+// at returns the i-th retained snapshot in chronological order (0 =
+// oldest).
+func (m *Manager) at(i int) *Snapshot {
+	j := m.head + i
+	if j >= len(m.ring) {
+		j -= len(m.ring)
+	}
+	return &m.ring[j]
 }
 
 // ObserveRaw ingests a snapshot whose waits arrive as raw engine wait types
@@ -148,19 +196,142 @@ func (m *Manager) ObserveRaw(s Snapshot, byType map[WaitType]float64) {
 }
 
 // Len returns the number of retained snapshots.
-func (m *Manager) Len() int { return len(m.snaps) }
+func (m *Manager) Len() int { return len(m.ring) }
 
 // Reset clears all history (used after a container resize when the operator
-// wants signals scoped to the new container).
-func (m *Manager) Reset() { m.snaps = m.snaps[:0] }
+// wants signals scoped to the new container). The ring storage and scratch
+// arenas are retained, so a reset-and-rewarmed manager still runs
+// allocation-free.
+func (m *Manager) Reset() {
+	m.ring = m.ring[:0]
+	m.head = 0
+	m.cachedOK = false
+}
 
 // Window returns the configured window size.
 func (m *Manager) Window() int { return m.window }
 
+// AppendSnapshots appends the retained snapshots to dst in chronological
+// order (oldest first) and returns the extended slice.
+func (m *Manager) AppendSnapshots(dst []Snapshot) []Snapshot {
+	for i := 0; i < len(m.ring); i++ {
+		dst = append(dst, *m.at(i))
+	}
+	return dst
+}
+
 // Signals computes the derived signals over the retained window. ok is
 // false until MinIntervalsForSignals snapshots have been observed.
+//
+// After the scratch arenas warm up (one call at the current window length),
+// the computation allocates nothing; the result is also cached, so repeat
+// calls between observations are O(1). Bit-for-bit it equals
+// SignalsReference — the pre-optimization implementation retained as the
+// equivalence oracle.
 func (m *Manager) Signals() (Signals, bool) {
-	n := len(m.snaps)
+	n := len(m.ring)
+	if n < MinIntervalsForSignals {
+		return Signals{}, false
+	}
+	if m.cachedOK {
+		return m.cached, true
+	}
+	m.cached = m.computeSignals(n)
+	m.cachedOK = true
+	return m.cached, true
+}
+
+// grow resizes a scratch arena to n, reusing its backing array when
+// possible.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// medianColumn fills the median scratch with one column of the window and
+// selects its median in place. get must not retain the snapshot pointer.
+func (m *Manager) medianColumn(n int, get func(*Snapshot) float64) float64 {
+	m.med = grow(m.med, n)
+	for i := 0; i < n; i++ {
+		m.med[i] = get(m.at(i))
+	}
+	return stats.MedianInPlace(m.med)
+}
+
+func (m *Manager) computeSignals(n int) Signals {
+	m.xs = grow(m.xs, n)
+	m.p95 = grow(m.p95, n)
+	for i := 0; i < n; i++ {
+		s := m.at(i)
+		m.xs[i] = float64(s.Interval)
+		m.p95[i] = s.P95LatencyMs
+	}
+
+	var sig Signals
+	sig.Window = n
+	sig.Current = *m.at(n - 1)
+	sig.MemoryUsedMB = sig.Current.MemoryUsedMB
+	sig.OfferedRPS = m.medianColumn(n, func(s *Snapshot) float64 { return s.OfferedRPS })
+	sig.PhysicalReadsMedian = m.medianColumn(n, func(s *Snapshot) float64 { return s.PhysicalReads })
+	sig.Latency.AvgMs = m.medianColumn(n, func(s *Snapshot) float64 { return s.AvgLatencyMs })
+	m.med = grow(m.med, n)
+	copy(m.med, m.p95)
+	sig.Latency.P95Ms = stats.MedianInPlace(m.med)
+	prev := m.at(n - 2)
+	sig.Latency.PrevAvgMs = prev.AvgLatencyMs
+	sig.Latency.PrevP95Ms = prev.P95LatencyMs
+	if tr, err := stats.TheilSenBuf(m.xs, m.p95, m.alpha, &m.tsBuf); err == nil {
+		sig.Latency.Trend = tr
+	}
+
+	for _, k := range resource.Kinds {
+		wc := WaitClassFor(k)
+		rs := ResourceSignals{
+			PrevWaitMs:      prev.WaitMs[wc],
+			PrevUtilization: prev.Utilization[k],
+		}
+		// One column buffer serves both the utilization and wait series:
+		// the utilization trend is computed before the column is refilled
+		// with waits. Medians go through the separate median scratch so the
+		// column stays in chronological order for the trend fits.
+		m.col = grow(m.col, n)
+		for i := 0; i < n; i++ {
+			m.col[i] = m.at(i).Utilization[k]
+		}
+		rs.Utilization = m.medianColumn(n, func(s *Snapshot) float64 { return s.Utilization[k] })
+		if tr, err := stats.TheilSenBuf(m.xs, m.col, m.alpha, &m.tsBuf); err == nil {
+			rs.UtilTrend = tr
+		}
+		for i := 0; i < n; i++ {
+			m.col[i] = m.at(i).WaitMs[wc]
+		}
+		rs.WaitMs = m.medianColumn(n, func(s *Snapshot) float64 { return s.WaitMs[wc] })
+		rs.WaitPct = m.medianColumn(n, func(s *Snapshot) float64 { return s.WaitPct(wc) })
+		if tr, err := stats.TheilSenBuf(m.xs, m.col, m.alpha, &m.tsBuf); err == nil {
+			rs.WaitTrend = tr
+		}
+		if rho, err := stats.SpearmanBuf(m.col, m.p95, &m.spear); err == nil {
+			rs.WaitLatencyCorr = rho
+		}
+		sig.Resources[k] = rs
+	}
+
+	for _, wc := range []WaitClass{WaitLock, WaitLatch, WaitSystem} {
+		sig.LogicalWaitPct[wc] = m.medianColumn(n, func(s *Snapshot) float64 { return s.WaitPct(wc) })
+	}
+	return sig
+}
+
+// SignalsReference recomputes the signals with the pre-optimization
+// allocating implementation (fresh slices, sort-based medians, unbuffered
+// Theil–Sen and Spearman). It exists as the equivalence oracle for the
+// zero-allocation fast path: property tests and the fleet benchmark assert
+// Signals() == SignalsReference() bit for bit. It is never cached.
+func (m *Manager) SignalsReference() (Signals, bool) {
+	snaps := m.AppendSnapshots(nil)
+	n := len(snaps)
 	if n < MinIntervalsForSignals {
 		return Signals{}, false
 	}
@@ -169,7 +340,7 @@ func (m *Manager) Signals() (Signals, bool) {
 	p95Lat := make([]float64, n)
 	offered := make([]float64, n)
 	physReads := make([]float64, n)
-	for i, s := range m.snaps {
+	for i, s := range snaps {
 		xs[i] = float64(s.Interval)
 		avgLat[i] = s.AvgLatencyMs
 		p95Lat[i] = s.P95LatencyMs
@@ -178,15 +349,15 @@ func (m *Manager) Signals() (Signals, bool) {
 	}
 	var sig Signals
 	sig.Window = n
-	sig.Current = m.snaps[n-1]
+	sig.Current = snaps[n-1]
 	sig.MemoryUsedMB = sig.Current.MemoryUsedMB
-	sig.OfferedRPS = stats.Median(offered)
-	sig.PhysicalReadsMedian = stats.Median(physReads)
-	sig.Latency.AvgMs = stats.Median(avgLat)
-	sig.Latency.P95Ms = stats.Median(p95Lat)
+	sig.OfferedRPS = stats.MedianReference(offered)
+	sig.PhysicalReadsMedian = stats.MedianReference(physReads)
+	sig.Latency.AvgMs = stats.MedianReference(avgLat)
+	sig.Latency.P95Ms = stats.MedianReference(p95Lat)
 	sig.Latency.PrevAvgMs = avgLat[n-2]
 	sig.Latency.PrevP95Ms = p95Lat[n-2]
-	if tr, err := stats.TheilSen(xs, p95Lat, m.alpha); err == nil {
+	if tr, err := stats.TheilSenReference(xs, p95Lat, m.alpha); err == nil {
 		sig.Latency.Trend = tr
 	}
 
@@ -195,25 +366,25 @@ func (m *Manager) Signals() (Signals, bool) {
 		util := make([]float64, n)
 		wait := make([]float64, n)
 		pct := make([]float64, n)
-		for i, s := range m.snaps {
+		for i, s := range snaps {
 			util[i] = s.Utilization[k]
 			wait[i] = s.WaitMs[wc]
 			pct[i] = s.WaitPct(wc)
 		}
 		rs := ResourceSignals{
-			Utilization:     stats.Median(util),
-			WaitMs:          stats.Median(wait),
-			WaitPct:         stats.Median(pct),
+			Utilization:     stats.MedianReference(util),
+			WaitMs:          stats.MedianReference(wait),
+			WaitPct:         stats.MedianReference(pct),
 			PrevWaitMs:      wait[n-2],
 			PrevUtilization: util[n-2],
 		}
-		if tr, err := stats.TheilSen(xs, util, m.alpha); err == nil {
+		if tr, err := stats.TheilSenReference(xs, util, m.alpha); err == nil {
 			rs.UtilTrend = tr
 		}
-		if tr, err := stats.TheilSen(xs, wait, m.alpha); err == nil {
+		if tr, err := stats.TheilSenReference(xs, wait, m.alpha); err == nil {
 			rs.WaitTrend = tr
 		}
-		if rho, err := stats.Spearman(wait, p95Lat); err == nil {
+		if rho, err := stats.SpearmanReference(wait, p95Lat); err == nil {
 			rs.WaitLatencyCorr = rho
 		}
 		sig.Resources[k] = rs
@@ -221,10 +392,10 @@ func (m *Manager) Signals() (Signals, bool) {
 
 	for _, wc := range []WaitClass{WaitLock, WaitLatch, WaitSystem} {
 		pct := make([]float64, n)
-		for i, s := range m.snaps {
+		for i, s := range snaps {
 			pct[i] = s.WaitPct(wc)
 		}
-		sig.LogicalWaitPct[wc] = stats.Median(pct)
+		sig.LogicalWaitPct[wc] = stats.MedianReference(pct)
 	}
 	return sig, true
 }

@@ -91,10 +91,18 @@ func AggregateWaitTypes(byType map[WaitType]float64) [NumWaitClasses]float64 {
 // The split is deterministic: the first type in the class's catalog gets
 // the largest share, decaying geometrically.
 func SplitClassWaits(class WaitClass, totalMs float64) map[WaitType]float64 {
-	types := KnownWaitTypes()[class]
-	out := make(map[WaitType]float64, len(types))
+	out := make(map[WaitType]float64, len(classCatalog(class)))
+	AddClassWaits(out, class, totalMs)
+	return out
+}
+
+// AddClassWaits is SplitClassWaits into a caller-owned map: the per-type
+// shares are accumulated into dst without allocating, so the engine can
+// reuse one scratch map across billing intervals.
+func AddClassWaits(dst map[WaitType]float64, class WaitClass, totalMs float64) {
+	types := classCatalog(class)
 	if len(types) == 0 || totalMs <= 0 {
-		return out
+		return
 	}
 	// Geometric shares 1, 1/2, 1/4, ... normalized.
 	var norm float64
@@ -105,8 +113,30 @@ func SplitClassWaits(class WaitClass, totalMs float64) map[WaitType]float64 {
 	}
 	share = 1.0
 	for _, t := range types {
-		out[t] = totalMs * share / norm
+		dst[t] += totalMs * share / norm
 		share /= 2
 	}
-	return out
+}
+
+// classCatalog returns the catalog slice for one class (shared storage —
+// callers must not modify it).
+func classCatalog(class WaitClass) []WaitType {
+	switch class {
+	case WaitCPU:
+		return cpuWaitTypes
+	case WaitMemory:
+		return memoryWaitTypes
+	case WaitDiskIO:
+		return diskWaitTypes
+	case WaitLogIO:
+		return logWaitTypes
+	case WaitLock:
+		return lockWaitTypes
+	case WaitLatch:
+		return latchWaitTypes
+	case WaitSystem:
+		return systemWaitTypes
+	default:
+		return nil
+	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package daasscale_test
+
+// raceEnabled relaxes allocation and speedup assertions: the race detector's
+// instrumentation allocates and slows the code under test.
+const raceEnabled = true
