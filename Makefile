@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race alloc-gate verify bench bench-all
+.PHONY: all build test vet race alloc-gate chaos verify bench bench-all
 
 all: verify
 
@@ -27,7 +27,14 @@ race:
 alloc-gate:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/telemetry ./internal/stats
 
-verify: build test vet race alloc-gate
+# The chaos gate: deterministic fault injection end to end — the
+# sim-level chaos suite (parallel/serial bit identity, aggressive-plan
+# survival, the ±25% cost bound). The faults package's unit tests run
+# uncached alongside it.
+chaos:
+	$(GO) test -count=1 ./internal/faults/... ./internal/sim -run Chaos
+
+verify: build test vet race alloc-gate chaos
 
 # The telemetry hot-path benchmarks; headline numbers land in
 # BENCH_telemetry.json.

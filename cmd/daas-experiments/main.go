@@ -15,7 +15,12 @@
 //
 // Usage:
 //
-//	daas-experiments [-seed S] [-quick] [-workers W] [-progress]
+//	daas-experiments [-seed S] [-quick] [-workers W] [-progress] [-faults R]
+//
+// With -faults R > 0 every simulation's telemetry channel runs under a
+// deterministic uniform fault plan (rate R spread over the fault kinds) —
+// the chaos-mode replication of the evaluation. Results stay reproducible
+// and worker-count independent.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"daasscale/internal/exec"
+	"daasscale/internal/faults"
 	"daasscale/internal/fleet"
 	"daasscale/internal/report"
 	"daasscale/internal/resource"
@@ -44,6 +50,7 @@ func main() {
 	quick := flag.Bool("quick", false, "fast smoke run: smaller fleet, decimated traces (online policies get less reaction headroom, so their numbers are distorted)")
 	workers := flag.Int("workers", 0, "worker-pool width for parallel simulation (0 = all cores); never changes results")
 	progress := flag.Bool("progress", false, "print live executor metrics to stderr")
+	faultRate := flag.Float64("faults", 0, "total telemetry fault rate in [0,1] for every simulation (0 = clean)")
 	outDir := flag.String("out", "", "also write every policy's per-interval series as CSV files into this directory")
 	markdownPath := flag.String("markdown", "", "also write the comparison tables as a markdown report to this file")
 	flag.Parse()
@@ -55,6 +62,10 @@ func main() {
 
 	execOpts := exec.Options{Workers: *workers}
 	runnerOpts := []sim.Option{sim.WithParallelism(*workers), sim.WithSeed(*seed)}
+	if *faultRate > 0 {
+		runnerOpts = append(runnerOpts, sim.WithFaults(faults.Uniform(*faultRate)))
+		fmt.Fprintf(os.Stderr, "note: telemetry chaos mode, total fault rate %.0f%%\n", *faultRate*100)
+	}
 	if *progress {
 		hook := func(p exec.Progress) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d tasks  %.1f/s  p50 %s  p95 %s  util %.0f%%   ",

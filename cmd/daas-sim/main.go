@@ -8,7 +8,14 @@
 //	daas-sim [-workload tpcc|ds2|cpuio] [-trace trace1..trace4]
 //	         [-goal-factor F] [-seed S] [-sensitivity low|medium|high]
 //	         [-budget B -budget-intervals N] [-workers W]
-//	         [-csv POLICY -out FILE]
+//	         [-faults RATE -fault-seed S] [-csv POLICY -out FILE]
+//
+// With -faults R > 0 every policy's telemetry channel runs in chaos mode: a
+// deterministic fault plan injects dropped, duplicated, reordered and
+// corrupted snapshots at total rate R (spread uniformly over the fault
+// kinds). The engine and the billing stay truthful — only what the policies
+// observe is perturbed — and the run is reproducible: the same seed and
+// fault seed give bit-identical results at any worker count.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"daasscale/internal/budget"
 	"daasscale/internal/estimator"
+	"daasscale/internal/faults"
 	"daasscale/internal/fleet"
 	"daasscale/internal/report"
 	"daasscale/internal/resource"
@@ -40,6 +48,8 @@ func main() {
 	budgetTotal := flag.Float64("budget", 0, "optional budget for Auto over the budgeting period (0 = unlimited)")
 	budgetIntervals := flag.Int("budget-intervals", 0, "budgeting period in billing intervals (defaults to the trace length)")
 	workers := flag.Int("workers", 0, "worker-pool width for the policy fan-out (0 = all cores); never changes results")
+	faultRate := flag.Float64("faults", 0, "total telemetry fault rate in [0,1] (0 = clean run)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-plan seed (varies fault timing independently of -seed)")
 	calibrate := flag.Bool("calibrate", false, "calibrate estimator thresholds from a fleet sample first")
 	csvPolicy := flag.String("csv", "", "export this policy's per-interval series as CSV")
 	outPath := flag.String("out", "", "CSV output file (default stdout)")
@@ -72,6 +82,11 @@ func main() {
 		Seed:        *seed,
 		Sensitivity: sens,
 	}
+	if *faultRate > 0 {
+		plan := faults.Uniform(*faultRate)
+		plan.Seed = *faultSeed
+		cs.Faults = plan
+	}
 	if *budgetTotal > 0 {
 		n := *budgetIntervals
 		if n == 0 {
@@ -101,6 +116,15 @@ func main() {
 	}
 	title := fmt.Sprintf("%s × %s, goal %.2f × Max p95", w.Name, tr.Name, *goalFactor)
 	report.ComparisonTable(os.Stdout, title, comp)
+	if cs.Faults.Enabled() {
+		fmt.Printf("\ntelemetry chaos (rate %.0f%%, fault seed %d; Max stays clean for goal derivation):\n",
+			*faultRate*100, *faultSeed)
+		for _, r := range comp.Results {
+			if r.FaultStats.Total() > 0 {
+				fmt.Printf("  %-6s %s\n", r.Policy, r.FaultStats)
+			}
+		}
+	}
 
 	if *csvPolicy != "" {
 		r, ok := comp.ByPolicy(*csvPolicy)

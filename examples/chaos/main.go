@@ -1,0 +1,74 @@
+// Chaos: graceful degradation under telemetry faults. The same six-policy
+// comparison runs twice — once on a clean telemetry channel and once with a
+// deterministic fault plan injecting dropped, duplicated, reordered and
+// corrupted snapshots at a 10% total rate. The engine and the billing stay
+// truthful in both runs; only what the policies observe is perturbed, so
+// the cost delta is the price of scaling on damaged evidence.
+//
+// Run with:
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"daasscale/internal/faults"
+	"daasscale/internal/sim"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+	runner := sim.NewRunner()
+
+	base := sim.ComparisonSpec{
+		Workload:   workload.CPUIO(workload.DefaultCPUIOConfig()),
+		Trace:      trace.Trace2(400, 2),
+		GoalFactor: 1.25,
+		Seed:       42,
+	}
+
+	clean, err := runner.RunComparison(ctx, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	chaos := base
+	chaos.Faults = faults.Uniform(0.10) // 10% of intervals faulted, all kinds
+	chaos.Faults.Seed = 1
+	dirty, err := runner.RunComparison(ctx, chaos)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The offline Max run stays clean in both, so the latency goals match
+	// and the comparison is apples to apples.
+	fmt.Printf("latency goal: %.1f ms (clean) vs %.1f ms (chaos) — identical by design\n\n",
+		clean.GoalMs, dirty.GoalMs)
+
+	fmt.Printf("%-6s  %12s  %12s  %8s  %10s  %10s\n",
+		"policy", "clean cost", "chaos cost", "Δcost", "clean p95", "chaos p95")
+	for _, cr := range clean.Results {
+		dr, ok := dirty.ByPolicy(cr.Policy)
+		if !ok {
+			continue
+		}
+		delta := 0.0
+		if cr.TotalCost > 0 {
+			delta = (dr.TotalCost - cr.TotalCost) / cr.TotalCost * 100
+		}
+		fmt.Printf("%-6s  %12.0f  %12.0f  %+7.1f%%  %8.1f ms  %8.1f ms\n",
+			cr.Policy, cr.TotalCost, dr.TotalCost, delta, cr.P95Ms, dr.P95Ms)
+	}
+
+	auto := dirty.MustByPolicy("Auto")
+	fmt.Printf("\nwhat the injector did to Auto's telemetry channel:\n  %s\n", auto.FaultStats)
+	fmt.Println("\nthe pipeline sanitized every corrupted counter, widened the")
+	fmt.Println("estimator's no-op band on degraded windows, and held the previous")
+	fmt.Println("container on dropped intervals — no panic, finite signals throughout.")
+}

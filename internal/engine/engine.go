@@ -550,4 +550,3 @@ func (e *Engine) LastIntervalWaitTypes() map[telemetry.WaitType]float64 {
 	}
 	return out
 }
-

@@ -1,0 +1,131 @@
+package estimator
+
+import (
+	"strings"
+	"testing"
+
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+)
+
+// extremeCPU builds signals that estimate a 2-step CPU scale-up on a
+// pristine window (the saturation rule).
+func extremeCPU() *sigBuilder {
+	return newSig().util(resource.CPU, 0.99).wait(resource.CPU, 1_000_000, 0.8)
+}
+
+// degradedQuality returns a Quality whose score is below the degraded
+// threshold but above the severe one.
+func degradedQuality(t *testing.T) telemetry.Quality {
+	t.Helper()
+	q := telemetry.Quality{IntervalsSeen: 10, Sanitized: 2}
+	if !q.Degraded() || q.Severe() {
+		t.Fatalf("fixture is not degraded-but-not-severe: %v", q)
+	}
+	return q
+}
+
+// severeQuality returns a Quality below the severe threshold.
+func severeQuality(t *testing.T) telemetry.Quality {
+	t.Helper()
+	q := telemetry.Quality{IntervalsSeen: 10, Sanitized: 6, Gaps: 3}
+	if !q.Severe() {
+		t.Fatalf("fixture is not severe: %v", q)
+	}
+	return q
+}
+
+// TestDegradedClampsTwoStepsToOne: on a degraded window the saturation
+// rule's 2-step estimate is clamped to a single step, with an explanation.
+func TestDegradedClampsTwoStepsToOne(t *testing.T) {
+	e := mustEstimator(t, SensitivityMedium)
+	sig := extremeCPU().build()
+	if d := e.Estimate(sig); d.Steps[resource.CPU] != 2 {
+		t.Fatalf("pristine baseline should estimate 2 steps: %v", d.Steps)
+	}
+
+	sig.Quality = degradedQuality(t)
+	d := e.Estimate(sig)
+	if d.Steps[resource.CPU] != 1 {
+		t.Fatalf("degraded window: Steps[CPU] = %d, want 1", d.Steps[resource.CPU])
+	}
+	found := false
+	for _, ex := range d.Explanations {
+		if strings.Contains(ex, "telemetry degraded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no degradation explanation in %v", d.Explanations)
+	}
+}
+
+// TestDegradedKeepsSingleStepsAndScaleDowns: the widened no-op band only
+// clamps the extremes; ordinary 1-step and −1-step estimates pass through.
+func TestDegradedKeepsSingleStepsAndScaleDowns(t *testing.T) {
+	e := mustEstimator(t, SensitivityMedium)
+	up := newSig().util(resource.CPU, 0.9).wait(resource.CPU, 150_000, 0.8).build()
+	if d := e.Estimate(up); d.Steps[resource.CPU] != 1 {
+		t.Fatalf("baseline should estimate 1 step: %v", d.Steps)
+	}
+	up.Quality = degradedQuality(t)
+	if d := e.Estimate(up); d.Steps[resource.CPU] != 1 {
+		t.Fatalf("degraded window must keep the 1-step estimate: %v", d.Steps)
+	}
+
+	down := newSig().build() // idle signals → scale-down everywhere possible
+	base := e.Estimate(down)
+	down.Quality = degradedQuality(t)
+	if d := e.Estimate(down); d.Steps != base.Steps {
+		t.Fatalf("degraded window changed scale-down estimates: %v vs %v", d.Steps, base.Steps)
+	}
+}
+
+// TestSevereHoldsEverything: a severely degraded window yields no resize in
+// either direction.
+func TestSevereHoldsEverything(t *testing.T) {
+	e := mustEstimator(t, SensitivityMedium)
+	sig := extremeCPU().build()
+	sig.Quality = severeQuality(t)
+	d := e.Estimate(sig)
+	for k, s := range d.Steps {
+		if s != 0 {
+			t.Fatalf("severe window: Steps[%v] = %d, want 0", resource.Kind(k), s)
+		}
+	}
+	found := false
+	for _, ex := range d.Explanations {
+		if strings.Contains(ex, "severely degraded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no severe-degradation explanation in %v", d.Explanations)
+	}
+}
+
+// TestDegradedNeverExceedsTwoSteps is the acceptance bound: whatever the
+// quality, the estimate never recommends a resize beyond ±2 steps — and on
+// degraded windows, beyond ±1.
+func TestDegradedNeverExceedsTwoSteps(t *testing.T) {
+	e := mustEstimator(t, SensitivityHigh)
+	for _, q := range []telemetry.Quality{
+		{},
+		{IntervalsSeen: 10},
+		degradedQuality(t),
+		severeQuality(t),
+		{IntervalsSeen: 3, Gaps: 10, Sanitized: 40, Duplicates: 3, OutOfOrder: 3},
+	} {
+		sig := extremeCPU().build()
+		sig.Quality = q
+		d := e.Estimate(sig)
+		for k, s := range d.Steps {
+			if s > 2 || s < -1 {
+				t.Fatalf("quality %v: Steps[%v] = %d out of [-1, 2]", q, resource.Kind(k), s)
+			}
+			if q.Degraded() && s > 1 {
+				t.Fatalf("degraded quality %v: Steps[%v] = %d, want ≤ 1", q, resource.Kind(k), s)
+			}
+		}
+	}
+}

@@ -125,6 +125,12 @@ func (e *Estimator) classify(k resource.Kind, sig *telemetry.Signals) ResourceSt
 // Estimate runs the rule hierarchy over the signals and returns the demand
 // estimate. The memory dimension only ever scales up here; scaling memory
 // down requires the ballooning protocol (see Balloon).
+//
+// When the signals' Quality is degraded — the telemetry window behind them
+// had gaps, sanitized counters or delivery anomalies — the estimator widens
+// its no-op band: the two-step extreme estimates are clamped to one step,
+// and a severely degraded window yields no resize at all (acting boldly on
+// damaged evidence risks both overshoot and working-set eviction).
 func (e *Estimator) Estimate(sig telemetry.Signals) Demand {
 	var d Demand
 	for _, k := range resource.Kinds {
@@ -142,7 +148,37 @@ func (e *Estimator) Estimate(sig telemetry.Signals) Demand {
 			d.Explanations = append(d.Explanations, why)
 		}
 	}
+	e.degrade(&d, sig.Quality)
 	return d
+}
+
+// degrade applies the graceful-degradation policy to an estimate
+// (DESIGN.md §9): pristine quality changes nothing.
+func (e *Estimator) degrade(d *Demand, q telemetry.Quality) {
+	if !q.Degraded() {
+		return
+	}
+	if q.Severe() {
+		held := false
+		for k := range d.Steps {
+			if d.Steps[k] != 0 {
+				d.Steps[k] = 0
+				held = true
+			}
+		}
+		if held {
+			d.Explanations = append(d.Explanations,
+				fmt.Sprintf("telemetry severely degraded (%v): holding every resource", q))
+		}
+		return
+	}
+	for k := range d.Steps {
+		if d.Steps[k] > 1 {
+			d.Steps[k] = 1
+			d.Explanations = append(d.Explanations,
+				fmt.Sprintf("telemetry degraded (%v): clamping %s scale-up to one step", q, resource.Kind(k)))
+		}
+	}
 }
 
 // queueRules implements the high/low-demand rules for CPU, disk I/O and

@@ -7,6 +7,7 @@ import (
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
 	"daasscale/internal/exec"
+	"daasscale/internal/faults"
 	"daasscale/internal/resource"
 	"daasscale/internal/telemetry"
 	"daasscale/internal/workload"
@@ -98,6 +99,10 @@ type BallooningSpec struct {
 	ShrinkAt int
 	// RPS is the steady offered load (0 → 120).
 	RPS float64
+	// Faults is the deterministic fault plan applied to each arm's
+	// telemetry channel (zero value = clean). Both arms share one stream
+	// seed, so they see identical fault timing.
+	Faults faults.Plan
 }
 
 // RunBallooningExperiment reproduces Figure 14: a CPUIO workload with a
@@ -154,6 +159,10 @@ func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (B
 		}
 		gen := workload.NewGenerator(spec.Seed+1000, 0.08)
 		tm := telemetry.NewManager(5)
+		var inj *faults.Injector
+		if spec.Faults.Enabled() {
+			inj = faults.NewInjector(spec.Faults, exec.SplitSeed(spec.Seed, faultStreamSalt))
+		}
 		balloon := estimator.NewBalloon(estimator.DefaultBalloonConfig())
 		badStreak := 0
 
@@ -165,7 +174,15 @@ func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (B
 				eng.Tick(gen.Offered(spec.RPS))
 			}
 			snap := eng.EndInterval()
-			tm.Observe(snap)
+			if inj == nil {
+				tm.Observe(snap)
+			} else {
+				// The series keeps the truthful snapshot; only the manager's
+				// view — what the control logic reads — is perturbed.
+				for _, fs := range inj.Apply(snap) {
+					tm.Observe(fs)
+				}
+			}
 			res := BallooningPoint{
 				Interval:        i,
 				MemoryUsedMB:    snap.MemoryUsedMB,

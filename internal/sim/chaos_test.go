@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"daasscale/internal/core"
+	"daasscale/internal/engine"
+	"daasscale/internal/fabric"
+	"daasscale/internal/faults"
+	"daasscale/internal/policy"
+	"daasscale/internal/resource"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+// chaosAutoPolicy builds a goal-driven Auto policy for the chaos runs.
+func chaosAutoPolicy(t *testing.T) *policy.Auto {
+	t.Helper()
+	cat := resource.LockStepCatalog()
+	scaler, err := core.New(core.Config{
+		Catalog: cat,
+		Initial: cat.AtStep(5),
+		Goal:    core.LatencyGoal{Kind: core.GoalP95, Ms: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return policy.NewAuto(scaler)
+}
+
+// TestChaosComparisonDeterministicAcrossWorkers is the tentpole's headline
+// property: a comparison under fault injection is bit-identical at any
+// worker count — fault timing derives from (plan, run seed, interval), not
+// from scheduling.
+func TestChaosComparisonDeterministicAcrossWorkers(t *testing.T) {
+	plan := faults.Uniform(0.2)
+	plan.Seed = 3
+	cs := ComparisonSpec{
+		Workload:   workload.DS2(),
+		Trace:      trace.Trace2(60, 7),
+		GoalFactor: 5,
+		Seed:       11,
+		Faults:     plan,
+	}
+	serial, err := NewRunner(WithParallelism(1)).RunComparison(context.Background(), cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 6} {
+		par, err := NewRunner(WithParallelism(workers)).RunComparison(context.Background(), cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The Max series carries NaN performance factors (no goal), so
+		// compare the rendered (NaN-stable) form byte for byte.
+		if fmt.Sprintf("%v", serial) != fmt.Sprintf("%v", par) {
+			t.Errorf("workers=%d: chaos comparison differs from serial", workers)
+		}
+	}
+	// The online policies' channels were actually faulted; the offline Max
+	// derivation stays clean.
+	auto, _ := serial.ByPolicy("Auto")
+	if auto.FaultStats.Total() == 0 {
+		t.Error("no faults landed on Auto's channel")
+	}
+	// The Max result is the offline goal-derivation run, which stays clean
+	// by design so clean and chaos comparisons share the same goal.
+	max, _ := serial.ByPolicy("Max")
+	if max.FaultStats != (faults.Stats{}) {
+		t.Errorf("Max's offline run must stay clean, got %+v", max.FaultStats)
+	}
+}
+
+// TestChaosMultiTenantDeterministicAcrossWorkers: per-tenant fault streams
+// survive the two-phase parallel schedule bit for bit.
+func TestChaosMultiTenantDeterministicAcrossWorkers(t *testing.T) {
+	plan := faults.Uniform(0.25)
+	spec := MultiTenantSpec{
+		Tenants: []TenantSpec{
+			{ID: "web", Workload: workload.DS2(), Trace: trace.Trace1(120, 1), GoalMs: 60},
+			{ID: "oltp", Workload: workload.TPCC(), Trace: trace.Trace4(120, 2), GoalMs: 200},
+			{ID: "batch", Workload: workload.CPUIO(workload.DefaultCPUIOConfig()), Trace: trace.Trace2(120, 3), GoalMs: 80},
+		},
+		Servers:    2,
+		Policy:     fabric.BestFit,
+		EngineOpts: engine.Options{WarmStart: true},
+		Seed:       9,
+		Faults:     plan,
+	}
+	serial, err := NewRunner(WithParallelism(1)).RunMultiTenant(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := NewRunner(WithParallelism(workers)).RunMultiTenant(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: chaos cluster run differs from serial\nserial: %+v\nparallel: %+v",
+				workers, serial, par)
+		}
+	}
+	for _, tr := range serial.Tenants {
+		if tr.TotalCost <= 0 {
+			t.Errorf("tenant %s accrued no cost under faults", tr.ID)
+		}
+	}
+}
+
+// TestChaosAggressivePlanNeverPanics: even a plan faulting nearly every
+// interval with every kind must complete with finite headline metrics —
+// no fault plan may panic the pipeline or leak a non-finite signal into
+// the results.
+func TestChaosAggressivePlanNeverPanics(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		plan := faults.Uniform(0.9)
+		plan.Seed = seed
+		res, err := NewRunner().Run(context.Background(), Spec{
+			Workload: workload.CPUIO(workload.DefaultCPUIOConfig()),
+			Trace:    trace.Trace2(120, 2),
+			Policy:   chaosAutoPolicy(t),
+			Seed:     seed,
+			Faults:   plan,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for name, v := range map[string]float64{
+			"TotalCost": res.TotalCost, "P95Ms": res.P95Ms, "AvgMs": res.AvgMs,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("seed %d: %s is non-finite: %v", seed, name, v)
+			}
+		}
+		if res.FaultStats.Total() == 0 {
+			t.Fatalf("seed %d: aggressive plan injected nothing", seed)
+		}
+		if res.TotalCost <= 0 {
+			t.Fatalf("seed %d: no cost accrued", seed)
+		}
+	}
+}
+
+// TestChaosBallooningRuns: the Figure 14 experiment completes under faults
+// with both arms' series intact and identical fault timing in each arm.
+func TestChaosBallooningRuns(t *testing.T) {
+	plan := faults.Uniform(0.15)
+	res, err := NewRunner().RunBallooning(context.Background(), BallooningSpec{
+		Seed:      5,
+		Intervals: 60,
+		ShrinkAt:  20,
+		Faults:    plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []BallooningArm{res.Without, res.With} {
+		if len(arm.Series) != 60 {
+			t.Fatalf("%s: series has %d points, want 60", arm.Name, len(arm.Series))
+		}
+		for _, pt := range arm.Series {
+			if math.IsNaN(pt.AvgMs) || math.IsNaN(pt.MemoryUsedMB) {
+				t.Fatalf("%s: non-finite series point %+v", arm.Name, pt)
+			}
+		}
+	}
+}
+
+// TestChaosValidationRejectsBadPlans: malformed fault plans fail spec
+// validation with the uniform sentinel on every Run* path.
+func TestChaosValidationRejectsBadPlans(t *testing.T) {
+	var bad faults.Plan
+	bad.Rates[faults.KindDrop] = math.NaN()
+	r := NewRunner()
+	ctx := context.Background()
+
+	if _, err := r.Run(ctx, Spec{
+		Workload: workload.DS2(), Trace: trace.Trace1(30, 1),
+		Policy: chaosAutoPolicy(t), Faults: bad,
+	}); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("Run: err = %v, want ErrInvalidSpec", err)
+	}
+	if _, err := r.RunComparison(ctx, ComparisonSpec{
+		Workload: workload.DS2(), Trace: trace.Trace1(30, 1), GoalFactor: 2, Faults: bad,
+	}); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("RunComparison: err = %v, want ErrInvalidSpec", err)
+	}
+	if _, err := r.RunMultiTenant(ctx, MultiTenantSpec{
+		Tenants: []TenantSpec{{ID: "a", Workload: workload.DS2(), Trace: trace.Trace1(30, 1)}},
+		Faults:  bad,
+	}); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("RunMultiTenant: err = %v, want ErrInvalidSpec", err)
+	}
+	if _, err := r.RunBallooning(ctx, BallooningSpec{Faults: bad}); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("RunBallooning: err = %v, want ErrInvalidSpec", err)
+	}
+}
+
+// TestChaosRunnerDefaultPlanPropagates: a WithFaults runner applies its
+// plan to specs that don't set one, and a spec-level plan wins.
+func TestChaosRunnerDefaultPlanPropagates(t *testing.T) {
+	plan := faults.Uniform(0.3)
+	plan.Seed = 2
+	spec := Spec{
+		Workload: workload.DS2(),
+		Trace:    trace.Trace1(60, 1),
+		Policy:   chaosAutoPolicy(t),
+		Seed:     4,
+	}
+	viaRunner, err := NewRunner(WithFaults(plan)).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = plan
+	viaSpec, err := NewRunner().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaRunner.FaultStats, viaSpec.FaultStats) {
+		t.Fatalf("runner default plan diverged from spec-level plan:\n%+v\n%+v",
+			viaRunner.FaultStats, viaSpec.FaultStats)
+	}
+	if viaRunner.FaultStats.Total() == 0 {
+		t.Fatal("runner default plan injected nothing")
+	}
+}
+
+// TestChaosCostWithinBoundTrace2 is the acceptance bound on the long-burst
+// trace: at a ≤10% total fault rate, graceful degradation keeps Auto's
+// total cost within 25% of the clean run's.
+func TestChaosCostWithinBoundTrace2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end comparison")
+	}
+	assertChaosCostBound(t, trace.Trace2(900, 2), workload.CPUIO(workload.DefaultCPUIOConfig()))
+}
+
+// TestChaosCostWithinBoundTrace4 is the same bound on the diurnal trace
+// with the lock-bound OLTP workload.
+func TestChaosCostWithinBoundTrace4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end comparison")
+	}
+	assertChaosCostBound(t, trace.Trace4(1440, 5), workload.TPCC())
+}
+
+func assertChaosCostBound(t *testing.T, tr *trace.Trace, w *workload.Workload) {
+	t.Helper()
+	base := ComparisonSpec{Workload: w, Trace: tr, GoalFactor: 1.25, Seed: 42}
+	clean, err := NewRunner().RunComparison(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := base
+	chaos.Faults = faults.Uniform(0.10)
+	chaos.Faults.Seed = 1
+	dirty, err := NewRunner().RunComparison(context.Background(), chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.GoalMs != dirty.GoalMs {
+		t.Fatalf("latency goals diverged: clean %v vs chaos %v (offline Max derivation must stay clean)",
+			clean.GoalMs, dirty.GoalMs)
+	}
+	ca := clean.MustByPolicy("Auto")
+	da := dirty.MustByPolicy("Auto")
+	lo, hi := ca.TotalCost*0.75, ca.TotalCost*1.25
+	if da.TotalCost < lo || da.TotalCost > hi {
+		t.Errorf("chaos Auto cost %.0f outside ±25%% of clean cost %.0f on %s×%s",
+			da.TotalCost, ca.TotalCost, w.Name, tr.Name)
+	}
+	if math.IsNaN(da.P95Ms) || math.IsInf(da.P95Ms, 0) || da.P95Ms <= 0 {
+		t.Errorf("chaos Auto p95 not finite-positive: %v", da.P95Ms)
+	}
+	if da.FaultStats.Total() == 0 {
+		t.Error("chaos run injected nothing")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"daasscale/internal/budget"
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
+	"daasscale/internal/faults"
 	"daasscale/internal/resource"
 	"daasscale/internal/trace"
 	"daasscale/internal/workload"
@@ -38,6 +39,11 @@ type ComparisonSpec struct {
 	AutoBudget *budget.Manager
 	// DisableBallooning turns Auto's memory probe off.
 	DisableBallooning bool
+	// Faults is the deterministic fault plan applied to every policy's
+	// telemetry channel (zero value = clean). The offline Max run that
+	// derives the latency goal always stays clean, so clean and chaos
+	// comparisons share the same goal.
+	Faults faults.Plan
 }
 
 // Comparison is the outcome of one experiment: the goal that was derived

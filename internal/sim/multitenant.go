@@ -8,6 +8,7 @@ import (
 	"daasscale/internal/engine"
 	"daasscale/internal/exec"
 	"daasscale/internal/fabric"
+	"daasscale/internal/faults"
 	"daasscale/internal/resource"
 	"daasscale/internal/stats"
 	"daasscale/internal/telemetry"
@@ -73,6 +74,11 @@ type MultiTenantSpec struct {
 	// Seed is the cluster-level base seed from which tenants with a zero
 	// Seed derive theirs (split by tenant ID).
 	Seed int64
+	// Faults is the deterministic fault plan applied to each tenant's
+	// telemetry channel (zero value = clean). Every tenant gets its own
+	// fault stream, derived from its tenant seed, so fault timing is
+	// independent across tenants yet bit-identical at any worker count.
+	Faults faults.Plan
 }
 
 // RunMultiTenant executes the cluster simulation. Each tenant gets its own
@@ -98,9 +104,26 @@ type tenantState struct {
 	eng     *engine.Engine
 	scaler  *core.AutoScaler
 	gen     *workload.Generator
+	inj     *faults.Injector
 	samples []float64
 	snap    telemetry.Snapshot
 	res     TenantResult
+}
+
+// observe routes the interval snapshot to the tenant's auto-scaler, through
+// the fault injector in chaos mode (same contract as observeThroughFaults:
+// a withheld interval yields a hold decision, and Changed is re-derived
+// against the engine's actual container after a multi-snapshot burst).
+func (st *tenantState) observe() core.Decision {
+	if st.inj == nil {
+		return st.scaler.Observe(st.snap)
+	}
+	d := core.Decision{Target: st.scaler.Container(), BalloonTargetMB: st.eng.MemoryTargetMB()}
+	for _, fs := range st.inj.Apply(st.snap) {
+		d = st.scaler.Observe(fs)
+	}
+	d.Changed = d.Target.Name != st.eng.Container().Name
+	return d
 }
 
 // runMultiTenant is the context-aware, pool-parallel implementation behind
@@ -155,6 +178,9 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 			gen:    workload.NewGenerator(ts.Seed+1000, 0.1),
 			res:    TenantResult{ID: ts.ID},
 		}
+		if spec.Faults.Enabled() {
+			st.inj = faults.NewInjector(spec.Faults, exec.SplitSeed(ts.Seed, faultStreamSalt))
+		}
 		eng.SetLatencySink(func(ms float64) { st.samples = append(st.samples, ms) })
 		return st, nil
 	})
@@ -192,7 +218,7 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		// order (the fabric's placement state makes the order load-bearing).
 		for _, st := range states {
 			st.res.TotalCost += st.snap.Cost
-			d := st.scaler.Observe(st.snap)
+			d := st.observe()
 			if d.Changed {
 				if _, err := fab.Resize(st.spec.ID, d.Target); err != nil {
 					// Refused: the tenant keeps its container; reconcile the

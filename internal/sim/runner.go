@@ -8,6 +8,7 @@ import (
 	"daasscale/internal/core"
 	"daasscale/internal/engine"
 	"daasscale/internal/exec"
+	"daasscale/internal/faults"
 	"daasscale/internal/policy"
 	"daasscale/internal/resource"
 	"daasscale/internal/trace"
@@ -37,6 +38,7 @@ type Runner struct {
 	engineOpts  engine.Options
 	engineSet   bool
 	jitter      float64
+	faults      faults.Plan
 }
 
 // Option configures a Runner.
@@ -82,6 +84,16 @@ func WithEngineOptions(opts engine.Options) Option {
 // whose Jitter is zero (default 0.1).
 func WithJitter(j float64) Option {
 	return func(r *Runner) { r.jitter = j }
+}
+
+// WithFaults sets the deterministic fault plan applied to the telemetry
+// channel of every run whose spec declares no plan of its own — chaos mode
+// for every experiment the runner executes. Faults perturb only what the
+// policies observe, never the engine itself, and parallel chaos runs stay
+// bit-identical to serial ones (the per-interval fault streams are derived
+// with exec.SplitSeed, not drawn from a shared sequence).
+func WithFaults(p faults.Plan) Option {
+	return func(r *Runner) { r.faults = p }
 }
 
 // NewRunner builds a Runner from functional options. The zero-option
@@ -137,6 +149,12 @@ func (r *Runner) applyDefaults(spec Spec) Spec {
 	if spec.Jitter == 0 {
 		spec.Jitter = r.jitter
 	}
+	// Only a fully-zero plan takes the runner default: a non-zero but
+	// disabled plan may be malformed (e.g. a NaN rate) and must reach
+	// Validate rather than be silently replaced.
+	if spec.Faults == (faults.Plan{}) {
+		spec.Faults = r.faults
+	}
 	return spec
 }
 
@@ -187,10 +205,18 @@ func (r *Runner) DeriveOffline(ctx context.Context, w *workload.Workload, tr *tr
 // from it); the five remaining policies then replay the identical offered
 // load in parallel across the pool. Results are ordered Max, Peak, Avg,
 // Trace, Util, Auto — identical to the serial runner, bit for bit.
+//
+// In chaos mode (a Faults plan on the spec or the runner) the fault plan
+// perturbs the telemetry channel of the five policy runs; the Max run that
+// derives the offline baselines and the latency goal stays clean, so clean
+// and chaos comparisons share the same goal and are directly comparable.
 func (r *Runner) RunComparison(ctx context.Context, cs ComparisonSpec) (Comparison, error) {
 	cs.Catalog = r.resolveCatalog(cs.Catalog)
 	cs.Seed = r.resolveSeed(cs.Seed)
 	cs.EngineOpts = r.resolveEngineOpts(cs.EngineOpts)
+	if cs.Faults == (faults.Plan{}) {
+		cs.Faults = r.faults
+	}
 	if err := cs.Validate(); err != nil {
 		return Comparison{}, err
 	}
@@ -246,6 +272,7 @@ func (r *Runner) RunComparison(ctx context.Context, cs ComparisonSpec) (Comparis
 			Seed:       cs.Seed,
 			EngineOpts: cs.EngineOpts,
 			GoalMs:     goal,
+			Faults:     cs.Faults,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: policy %s: %w", policies[i].Name(), err)
@@ -263,6 +290,9 @@ func (r *Runner) RunComparison(ctx context.Context, cs ComparisonSpec) (Comparis
 // ballooning probe) are independent simulations and run concurrently.
 func (r *Runner) RunBallooning(ctx context.Context, spec BallooningSpec) (BallooningResult, error) {
 	spec.Seed = r.resolveSeed(spec.Seed)
+	if spec.Faults == (faults.Plan{}) {
+		spec.Faults = r.faults
+	}
 	if err := spec.Validate(); err != nil {
 		return BallooningResult{}, err
 	}
@@ -279,6 +309,9 @@ func (r *Runner) RunBallooning(ctx context.Context, spec BallooningSpec) (Balloo
 func (r *Runner) RunMultiTenant(ctx context.Context, spec MultiTenantSpec) (MultiTenantResult, error) {
 	spec.Catalog = r.resolveCatalog(spec.Catalog)
 	spec.EngineOpts = r.resolveEngineOpts(spec.EngineOpts)
+	if spec.Faults == (faults.Plan{}) {
+		spec.Faults = r.faults
+	}
 	if err := spec.Validate(); err != nil {
 		return MultiTenantResult{}, err
 	}

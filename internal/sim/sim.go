@@ -12,6 +12,8 @@ import (
 	"math"
 
 	"daasscale/internal/engine"
+	"daasscale/internal/exec"
+	"daasscale/internal/faults"
 	"daasscale/internal/policy"
 	"daasscale/internal/resource"
 	"daasscale/internal/stats"
@@ -44,6 +46,13 @@ type Spec struct {
 	// GoalMs, when > 0, is recorded for the performance-factor series (it
 	// does not influence the run; goals live inside the policies).
 	GoalMs float64
+	// Faults is the deterministic fault plan applied to the telemetry
+	// channel between the engine and the policy (zero value = clean run).
+	// Faults never touch the engine: the load, the queues and the billing
+	// stay truthful, only what the policy observes is perturbed — on an
+	// interval the plan drops, the policy simply makes no decision and the
+	// previous container is kept.
+	Faults faults.Plan
 }
 
 // IntervalPoint is one billing interval of the drill-down series.
@@ -94,6 +103,10 @@ type Result struct {
 	Changes        int
 	ChangeFraction float64
 
+	// FaultStats reports what the fault injector did to the telemetry
+	// channel (all-zero for a clean run).
+	FaultStats faults.Stats
+
 	Series []IntervalPoint
 }
 
@@ -132,6 +145,13 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 	var samples []float64
 	eng.SetLatencySink(func(ms float64) { samples = append(samples, ms) })
 	gen := workload.NewGenerator(spec.Seed+1000, spec.Jitter)
+	var inj *faults.Injector
+	if spec.Faults.Enabled() {
+		// The stream seed depends only on the run seed, so every policy of
+		// a comparison sees the same fault timing and parallel runs are
+		// bit-identical to serial ones.
+		inj = faults.NewInjector(spec.Faults, exec.SplitSeed(spec.Seed, faultStreamSalt))
+	}
 
 	res := Result{
 		Policy:   spec.Policy.Name(),
@@ -152,7 +172,7 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		res.TotalCost += snap.Cost
 		cpuFrac := eng.Container().Alloc[resource.CPU] / ServerCPUms
 
-		dec := spec.Policy.Observe(snap)
+		dec := observeThroughFaults(spec.Policy, inj, eng, snap)
 		if dec.Changed {
 			res.Changes++
 			eng.SetContainer(dec.Target)
@@ -196,5 +216,34 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		res.P95Ms = stats.QuantileSelect(samples, 0.95)
 		res.AvgMs = stats.Mean(samples)
 	}
+	if inj != nil {
+		res.FaultStats = inj.Stats()
+	}
 	return res, nil
+}
+
+// faultStreamSalt decorrelates the fault injector's stream from the other
+// consumers of the run seed (the engine and the load generator).
+const faultStreamSalt = 0x6661756C74 // "fault"
+
+// observeThroughFaults routes one interval's snapshot to the policy, via
+// the fault injector when chaos mode is on. When the injector withholds
+// the interval entirely (drop or reorder hold-back), the policy makes no
+// decision: the current container and memory target are kept — the
+// graceful-degradation contract of a lost telemetry payload. When the
+// injector delivers several snapshots (a duplicate, or a held reordered
+// one released), the policy observes each in turn and the last decision
+// wins; Changed is then re-derived against the engine's actual container,
+// because a mid-burst decision may have moved the policy's internal
+// container while the final decision reports no further change.
+func observeThroughFaults(p policy.Policy, inj *faults.Injector, eng *engine.Engine, snap telemetry.Snapshot) policy.Decision {
+	if inj == nil {
+		return p.Observe(snap)
+	}
+	dec := policy.Decision{Target: eng.Container(), BalloonTargetMB: eng.MemoryTargetMB()}
+	for _, fs := range inj.Apply(snap) {
+		dec = p.Observe(fs)
+	}
+	dec.Changed = dec.Target.Name != eng.Container().Name
+	return dec
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"daasscale/internal/faults"
 	"daasscale/internal/policy"
 	"daasscale/internal/resource"
 )
@@ -28,6 +29,15 @@ func requireCatalog(cat *resource.Catalog) error {
 		return invalidSpec("catalog is nil")
 	}
 	return validateCatalog(cat)
+}
+
+// validateFaults rejects malformed fault plans (rates outside [0, 1] or
+// NaN), wrapping the package's error in the uniform ErrInvalidSpec.
+func validateFaults(p faults.Plan) error {
+	if err := p.Validate(); err != nil {
+		return invalidSpec("fault plan: %v", err)
+	}
+	return nil
 }
 
 // validatePolicies rejects empty policy lists and nil entries.
@@ -60,7 +70,7 @@ func (s Spec) Validate() error {
 	case s.GoalMs < 0:
 		return invalidSpec("GoalMs must be ≥ 0, got %v", s.GoalMs)
 	}
-	return nil
+	return validateFaults(s.Faults)
 }
 
 // Validate checks a six-policy comparison spec.
@@ -74,6 +84,9 @@ func (cs ComparisonSpec) Validate() error {
 		return invalidSpec("trace %q has zero intervals", cs.Trace.Name)
 	case cs.GoalFactor <= 1:
 		return invalidSpec("GoalFactor must exceed 1, got %v", cs.GoalFactor)
+	}
+	if err := validateFaults(cs.Faults); err != nil {
+		return err
 	}
 	return validateCatalog(cs.Catalog)
 }
@@ -103,7 +116,7 @@ func (spec MultiTenantSpec) Validate() error {
 		}
 		ids[ts.ID] = true
 	}
-	return nil
+	return validateFaults(spec.Faults)
 }
 
 // Validate checks a Figure 14 ballooning spec.
@@ -118,5 +131,5 @@ func (spec BallooningSpec) Validate() error {
 	case spec.Intervals > 0 && spec.ShrinkAt >= spec.Intervals:
 		return invalidSpec("ShrinkAt %d is past the end of the run (%d intervals)", spec.ShrinkAt, spec.Intervals)
 	}
-	return nil
+	return validateFaults(spec.Faults)
 }

@@ -19,7 +19,7 @@ func MedianReference(xs []float64) float64 {
 
 // QuantileReference is the pre-optimization Quantile: it copies xs, fully
 // sorts the copy, and interpolates between order statistics. Bit-identical
-// to QuantileSelect on the same input.
+// to QuantileSelect on the same finite input; q = NaN returns NaN on both.
 func QuantileReference(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()

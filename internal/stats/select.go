@@ -27,10 +27,12 @@ func MedianInPlace(xs []float64) float64 {
 // linear interpolation between order statistics as Quantile, but selects
 // the needed order statistics in place with introselect instead of sorting
 // a copy: expected O(n), zero allocations, xs reordered. Returns NaN for
-// empty input.
+// empty input and for q = NaN (a NaN quantile slips past both clamps, and
+// int(math.Floor(NaN)) would otherwise index out of range). NaN values in
+// xs never panic but make the result unspecified, as with Median.
 func QuantileSelect(xs []float64, q float64) float64 {
 	n := len(xs)
-	if n == 0 {
+	if n == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q <= 0 {

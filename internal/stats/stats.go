@@ -39,7 +39,7 @@ func Median(xs []float64) float64 {
 
 // Quantile returns the q-quantile of xs (0 ≤ q ≤ 1) using linear
 // interpolation between order statistics. xs is not modified. Returns NaN
-// for empty input. It is a thin copying wrapper over QuantileSelect; hot
+// for empty input and for q = NaN. It is a thin copying wrapper over QuantileSelect; hot
 // paths that own their slice should call QuantileSelect directly.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
@@ -59,6 +59,11 @@ func QuantileSorted(sorted []float64, q float64) float64 {
 }
 
 func quantileSorted(s []float64, q float64) float64 {
+	if math.IsNaN(q) {
+		// NaN escapes both clamps below; pos would be NaN and the floor an
+		// out-of-range index. The NaN quantile of any data is NaN.
+		return math.NaN()
+	}
 	if q <= 0 {
 		return s[0]
 	}

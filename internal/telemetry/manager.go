@@ -68,6 +68,10 @@ type Signals struct {
 	OfferedRPS float64
 	// Window is the number of intervals the signals were computed over.
 	Window int
+	// Quality is the manager's delivery/sanitization accounting over the
+	// window: how complete and trustworthy the signals are. Consumers (the
+	// demand estimator) widen their no-op band when Quality is degraded.
+	Quality Quality
 	// Current is the most recent snapshot.
 	Current Snapshot
 }
@@ -79,6 +83,7 @@ type Signals struct {
 func SteadySignals(s Snapshot) Signals {
 	var sig Signals
 	sig.Window = MinIntervalsForSignals
+	sig.Quality = Quality{IntervalsSeen: MinIntervalsForSignals}
 	sig.Current = s
 	sig.MemoryUsedMB = s.MemoryUsedMB
 	sig.OfferedRPS = s.OfferedRPS
@@ -125,6 +130,15 @@ type Manager struct {
 	ring []Snapshot
 	head int
 
+	// meta mirrors ring slot-for-slot with the per-snapshot quality
+	// accounting (fields sanitized, gap/duplicate/out-of-order delivery),
+	// so Quality is window-scoped and ages out with the snapshots.
+	meta []snapMeta
+	// lastInterval/haveLast track the interval index of the previously
+	// delivered snapshot for delivery-order accounting.
+	lastInterval int
+	haveLast     bool
+
 	// cached is the memoized output of the last Signals computation;
 	// cachedOK marks it valid until the next observation.
 	cached   Signals
@@ -157,17 +171,62 @@ func NewManager(window int) *Manager {
 		window: window,
 		alpha:  stats.DefaultTrendAlpha,
 		ring:   make([]Snapshot, 0, window),
+		meta:   make([]snapMeta, 0, window),
 	}
+}
+
+// snapMeta is the per-retained-snapshot quality accounting.
+type snapMeta struct {
+	// sanitized is the number of counter fields repaired on ingest.
+	sanitized int
+	// gap is the number of missing interval indices detected immediately
+	// before this snapshot (capped at the window length).
+	gap int
+	// dup and ooo mark duplicate-interval and backwards deliveries.
+	dup, ooo bool
 }
 
 // Observe appends one billing interval's snapshot, evicting history beyond
 // the window. Once the ring is full, the oldest snapshot is overwritten in
 // place — no allocation, no copying of the retained window.
+//
+// The snapshot is validated and sanitized before retention (SanitizeSnapshot:
+// non-finite counters replaced with the previous interval's value, negative
+// counters clamped to zero), and the delivery order of interval indices is
+// tracked, so a faulty telemetry channel degrades the Signals' Quality
+// instead of corrupting every median, trend and correlation. Snapshots are
+// retained even when duplicated or out of order: the robust kernels tolerate
+// them, and the Quality accounting tells consumers how much to trust the
+// window.
 func (m *Manager) Observe(s Snapshot) {
+	var prev *Snapshot
+	if len(m.ring) > 0 {
+		prev = m.at(len(m.ring) - 1)
+	}
+	meta := snapMeta{sanitized: SanitizeSnapshot(&s, prev)}
+	if m.haveLast {
+		switch {
+		case s.Interval == m.lastInterval:
+			meta.dup = true
+		case s.Interval < m.lastInterval:
+			meta.ooo = true
+		case s.Interval > m.lastInterval+1:
+			meta.gap = s.Interval - m.lastInterval - 1
+			if meta.gap > m.window {
+				meta.gap = m.window
+			}
+		}
+	}
+	if !m.haveLast || s.Interval > m.lastInterval {
+		m.lastInterval = s.Interval
+	}
+	m.haveLast = true
 	if len(m.ring) < m.window {
 		m.ring = append(m.ring, s)
+		m.meta = append(m.meta, meta)
 	} else {
 		m.ring[m.head] = s
+		m.meta[m.head] = meta
 		m.head++
 		if m.head == m.window {
 			m.head = 0
@@ -186,12 +245,56 @@ func (m *Manager) at(i int) *Snapshot {
 	return &m.ring[j]
 }
 
+// metaAt returns the i-th retained snapshot's quality accounting, indexed
+// like at.
+func (m *Manager) metaAt(i int) *snapMeta {
+	j := m.head + i
+	if j >= len(m.meta) {
+		j -= len(m.meta)
+	}
+	return &m.meta[j]
+}
+
+// quality sums the window's per-snapshot accounting into the Quality that
+// ships with the signals. Pure over the retained meta ring, so the fast
+// path and SignalsReference agree bit for bit.
+func (m *Manager) quality(n int) Quality {
+	q := Quality{IntervalsSeen: n}
+	for i := 0; i < n; i++ {
+		mt := m.metaAt(i)
+		q.Sanitized += mt.sanitized
+		q.Gaps += mt.gap
+		if mt.dup {
+			q.Duplicates++
+		}
+		if mt.ooo {
+			q.OutOfOrder++
+		}
+	}
+	return q
+}
+
+// Quality returns the delivery/sanitization accounting over the currently
+// retained window (without requiring MinIntervalsForSignals history).
+func (m *Manager) Quality() Quality {
+	return m.quality(len(m.ring))
+}
+
 // ObserveRaw ingests a snapshot whose waits arrive as raw engine wait types
 // (the shape a production DBMS reports, Section 3.1): the manager applies
 // the classification rules and fills the snapshot's per-class wait totals
-// before retaining it. Any class totals already present in s are replaced.
+// before retaining it.
+//
+// A nil byType means "no raw wait telemetry arrived this interval": any
+// per-class totals already present in s are preserved as-is. Every non-nil
+// map — including an empty one, which a healthy engine reports for a truly
+// wait-free interval — replaces s.WaitMs wholesale with its aggregation.
+// (Historically a nil map silently zeroed all pre-filled totals, making a
+// lost wait-type payload look like an idle database.)
 func (m *Manager) ObserveRaw(s Snapshot, byType map[WaitType]float64) {
-	s.WaitMs = AggregateWaitTypes(byType)
+	if byType != nil {
+		s.WaitMs = AggregateWaitTypes(byType)
+	}
 	m.Observe(s)
 }
 
@@ -204,7 +307,10 @@ func (m *Manager) Len() int { return len(m.ring) }
 // allocation-free.
 func (m *Manager) Reset() {
 	m.ring = m.ring[:0]
+	m.meta = m.meta[:0]
 	m.head = 0
+	m.haveLast = false
+	m.lastInterval = 0
 	m.cachedOK = false
 }
 
@@ -271,6 +377,7 @@ func (m *Manager) computeSignals(n int) Signals {
 
 	var sig Signals
 	sig.Window = n
+	sig.Quality = m.quality(n)
 	sig.Current = *m.at(n - 1)
 	sig.MemoryUsedMB = sig.Current.MemoryUsedMB
 	sig.OfferedRPS = m.medianColumn(n, func(s *Snapshot) float64 { return s.OfferedRPS })
@@ -349,6 +456,7 @@ func (m *Manager) SignalsReference() (Signals, bool) {
 	}
 	var sig Signals
 	sig.Window = n
+	sig.Quality = m.quality(n)
 	sig.Current = snaps[n-1]
 	sig.MemoryUsedMB = sig.Current.MemoryUsedMB
 	sig.OfferedRPS = stats.MedianReference(offered)

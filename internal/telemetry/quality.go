@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"daasscale/internal/resource"
+)
+
+// Quality describes how trustworthy the signals of one decision point are:
+// the telemetry manager's delivery and sanitization accounting over the
+// retained window (DESIGN.md §9). Raw engine telemetry is noisy — intervals
+// get dropped, delivered twice or out of order, and counters arrive NaN,
+// infinite, negative or freshly reset — and the demand estimator widens its
+// no-op band when the window it is reasoning over was damaged.
+//
+// All counts are window-scoped: they age out as faulty snapshots are
+// evicted from the ring, so quality recovers once the channel heals.
+type Quality struct {
+	// IntervalsSeen is the number of snapshots in the window. Zero means
+	// the signals did not come from a Manager (hand-built or steady-state
+	// signals); such signals are assumed pristine.
+	IntervalsSeen int
+	// Gaps is the number of missing interval indices detected inside the
+	// window (each capped at the window length, so a clock-skewed index
+	// cannot report an absurd gap).
+	Gaps int
+	// Sanitized is the number of counter fields the manager repaired
+	// (NaN/Inf replaced, negatives clamped) across the window's snapshots.
+	Sanitized int
+	// Duplicates is the number of windowed snapshots that repeated the
+	// interval index of the previously delivered snapshot.
+	Duplicates int
+	// OutOfOrder is the number of windowed snapshots whose interval index
+	// went backwards relative to the previously delivered snapshot.
+	OutOfOrder int
+}
+
+// IntervalsExpected is the number of intervals the window spans: the
+// snapshots seen plus the gaps detected between them.
+func (q Quality) IntervalsExpected() int { return q.IntervalsSeen + q.Gaps }
+
+// Quality score thresholds (see Score).
+const (
+	// DegradedQualityScore is the Score below which the estimator treats
+	// signals as degraded and widens its no-op band.
+	DegradedQualityScore = 0.9
+	// SevereQualityScore is the Score below which the estimator refuses to
+	// act at all.
+	SevereQualityScore = 0.5
+)
+
+// Score condenses the quality accounting into [0, 1]: 1 for a pristine
+// window, decaying with incompleteness (gaps), sanitized counters and
+// delivery anomalies. Signals of unknown provenance (IntervalsSeen == 0)
+// score 1.
+func (q Quality) Score() float64 {
+	if q.IntervalsSeen <= 0 {
+		return 1
+	}
+	n := float64(q.IntervalsSeen)
+	completeness := n / (n + float64(q.Gaps))
+	sanitized := 1 - math.Min(1, float64(q.Sanitized)/n)
+	anomalies := 1 - math.Min(1, float64(q.Duplicates+q.OutOfOrder)/n)
+	return completeness * sanitized * anomalies
+}
+
+// Degraded reports whether the window is damaged enough that consumers
+// should require stronger evidence before acting.
+func (q Quality) Degraded() bool { return q.Score() < DegradedQualityScore }
+
+// Severe reports whether the window is too damaged to act on at all.
+func (q Quality) Severe() bool { return q.Score() < SevereQualityScore }
+
+// String summarizes the quality for explanations and logs.
+func (q Quality) String() string {
+	return fmt.Sprintf("quality %.2f (%d/%d intervals, %d sanitized, %d dup, %d ooo)",
+		q.Score(), q.IntervalsSeen, q.IntervalsExpected(), q.Sanitized, q.Duplicates, q.OutOfOrder)
+}
+
+// sanitizeValue repairs one counter value: NaN and ±Inf are replaced with
+// the fallback (itself forced finite and non-negative), negative values are
+// clamped to zero. ok reports whether a repair happened.
+func sanitizeValue(v, fallback float64) (out float64, repaired bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		if math.IsNaN(fallback) || math.IsInf(fallback, 0) || fallback < 0 {
+			fallback = 0
+		}
+		return fallback, true
+	}
+	if v < 0 {
+		return 0, true
+	}
+	return v, false
+}
+
+// SanitizeSnapshot repairs every counter field of s in place and returns
+// the number of fields repaired. Non-finite values are replaced with the
+// previous snapshot's value for the same field (the best finite estimate
+// available; zero when prev is nil), negative counters are clamped to
+// zero. The Interval index is left alone — delivery-order accounting
+// handles clock skew. The zero return on already-clean snapshots makes the
+// call free of observable effect on healthy telemetry.
+func SanitizeSnapshot(s *Snapshot, prev *Snapshot) int {
+	fixed := 0
+	fix := func(v *float64, fallback float64) {
+		out, repaired := sanitizeValue(*v, fallback)
+		*v = out
+		if repaired {
+			fixed++
+		}
+	}
+	zero := Snapshot{}
+	if prev == nil {
+		prev = &zero
+	}
+	fix(&s.Cost, prev.Cost)
+	for _, k := range resource.Kinds {
+		fix(&s.Utilization[k], prev.Utilization[k])
+		fix(&s.UtilizationPeak[k], prev.UtilizationPeak[k])
+	}
+	for c := range s.WaitMs {
+		fix(&s.WaitMs[c], prev.WaitMs[c])
+	}
+	fix(&s.AvgLatencyMs, prev.AvgLatencyMs)
+	fix(&s.P95LatencyMs, prev.P95LatencyMs)
+	fix(&s.Transactions, prev.Transactions)
+	fix(&s.OfferedRPS, prev.OfferedRPS)
+	fix(&s.MemoryUsedMB, prev.MemoryUsedMB)
+	fix(&s.PhysicalReads, prev.PhysicalReads)
+	fix(&s.PhysicalWrites, prev.PhysicalWrites)
+	return fixed
+}
