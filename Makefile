@@ -28,11 +28,12 @@ alloc-gate:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/telemetry ./internal/stats
 
 # The chaos gate: deterministic fault injection end to end — the
-# sim-level chaos suite (parallel/serial bit identity, aggressive-plan
-# survival, the ±25% cost bound). The faults package's unit tests run
-# uncached alongside it.
+# sim-level chaos and actuation suites (parallel/serial bit identity,
+# aggressive-plan survival, the cost bounds, throttle-storm reconvergence).
+# The faults and actuate packages' unit tests run uncached alongside them.
 chaos:
-	$(GO) test -count=1 ./internal/faults/... ./internal/sim -run Chaos
+	$(GO) test -count=1 ./internal/faults/... ./internal/actuate/... \
+		./internal/sim -run 'Chaos|Actuation'
 
 verify: build test vet race alloc-gate chaos
 

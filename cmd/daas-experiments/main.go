@@ -16,11 +16,19 @@
 // Usage:
 //
 //	daas-experiments [-seed S] [-quick] [-workers W] [-progress] [-faults R]
+//	                 [-actuation-latency N -actuation-fail R]
 //
 // With -faults R > 0 every simulation's telemetry channel runs under a
 // deterministic uniform fault plan (rate R spread over the fault kinds) —
 // the chaos-mode replication of the evaluation. Results stay reproducible
 // and worker-count independent.
+//
+// With -actuation-latency N > 0 (and optionally -actuation-fail R) every
+// resize a policy decides is executed asynchronously: it lands N intervals
+// later, can fail transiently, retries with backoff, and the latest desired
+// container is reconciled. The offline Max runs that derive each
+// experiment's latency goal stay synchronous, so actuated reports remain
+// comparable to clean ones.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"daasscale/internal/actuate"
 	"daasscale/internal/exec"
 	"daasscale/internal/faults"
 	"daasscale/internal/fleet"
@@ -51,6 +60,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool width for parallel simulation (0 = all cores); never changes results")
 	progress := flag.Bool("progress", false, "print live executor metrics to stderr")
 	faultRate := flag.Float64("faults", 0, "total telemetry fault rate in [0,1] for every simulation (0 = clean)")
+	actLatency := flag.Int("actuation-latency", 0, "billing intervals every resize takes to execute (0 = synchronous)")
+	actFail := flag.Float64("actuation-fail", 0, "per-attempt resize failure probability in [0,1] (needs -actuation-latency or is its own trigger)")
 	outDir := flag.String("out", "", "also write every policy's per-interval series as CSV files into this directory")
 	markdownPath := flag.String("markdown", "", "also write the comparison tables as a markdown report to this file")
 	flag.Parse()
@@ -65,6 +76,15 @@ func main() {
 	if *faultRate > 0 {
 		runnerOpts = append(runnerOpts, sim.WithFaults(faults.Uniform(*faultRate)))
 		fmt.Fprintf(os.Stderr, "note: telemetry chaos mode, total fault rate %.0f%%\n", *faultRate*100)
+	}
+	if *actLatency > 0 || *actFail > 0 {
+		runnerOpts = append(runnerOpts, sim.WithActuation(actuate.Config{
+			Seed:             1,
+			LatencyIntervals: *actLatency,
+			FailRate:         *actFail,
+		}))
+		fmt.Fprintf(os.Stderr, "note: actuated resizes, latency %d intervals, fail rate %.0f%%\n",
+			*actLatency, *actFail*100)
 	}
 	if *progress {
 		hook := func(p exec.Progress) {

@@ -8,7 +8,11 @@
 //	daas-sim [-workload tpcc|ds2|cpuio] [-trace trace1..trace4]
 //	         [-goal-factor F] [-seed S] [-sensitivity low|medium|high]
 //	         [-budget B -budget-intervals N] [-workers W]
-//	         [-faults RATE -fault-seed S] [-csv POLICY -out FILE]
+//	         [-faults RATE -fault-seed S]
+//	         [-actuation-latency N -actuation-jitter N -actuation-fail R
+//	          -actuation-throttle R -actuation-burst-start N
+//	          -actuation-burst-len N -actuation-deadline N -actuation-seed S]
+//	         [-csv POLICY -out FILE]
 //
 // With -faults R > 0 every policy's telemetry channel runs in chaos mode: a
 // deterministic fault plan injects dropped, duplicated, reordered and
@@ -16,6 +20,16 @@
 // kinds). The engine and the billing stay truthful — only what the policies
 // observe is perturbed — and the run is reproducible: the same seed and
 // fault seed give bit-identical results at any worker count.
+//
+// The -actuation-* flags put the resize channel itself under chaos: every
+// container change a policy decides becomes an asynchronous operation that
+// takes -actuation-latency billing intervals (plus a deterministic jitter
+// of up to -actuation-jitter) to execute, can be throttled or fail
+// transiently, retries with capped exponential backoff under a
+// per-operation deadline, and is reconciled desired-vs-actual — a stale
+// in-flight resize is superseded when the policy changes its mind. Like the
+// telemetry faults, actuation chaos is seed-deterministic and never touches
+// the offline Max run that derives the latency goal.
 package main
 
 import (
@@ -26,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 
+	"daasscale/internal/actuate"
 	"daasscale/internal/budget"
 	"daasscale/internal/estimator"
 	"daasscale/internal/faults"
@@ -50,6 +65,14 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool width for the policy fan-out (0 = all cores); never changes results")
 	faultRate := flag.Float64("faults", 0, "total telemetry fault rate in [0,1] (0 = clean run)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plan seed (varies fault timing independently of -seed)")
+	actLatency := flag.Int("actuation-latency", 0, "billing intervals a resize takes to execute (0 with no other actuation flag = synchronous)")
+	actJitter := flag.Int("actuation-jitter", 0, "extra per-operation latency jitter in [0,N] intervals")
+	actFail := flag.Float64("actuation-fail", 0, "per-attempt transient failure probability in [0,1]")
+	actThrottle := flag.Float64("actuation-throttle", 0, "per-attempt fabric throttle probability in [0,1]")
+	actBurstStart := flag.Int("actuation-burst-start", 0, "first interval of a 100% throttle storm (with -actuation-burst-len)")
+	actBurstLen := flag.Int("actuation-burst-len", 0, "length of the throttle storm in intervals (0 = none)")
+	actDeadline := flag.Int("actuation-deadline", 0, "per-operation deadline in intervals (0 = none)")
+	actSeed := flag.Int64("actuation-seed", 1, "actuation-chaos seed (varies actuation faults independently of -seed)")
 	calibrate := flag.Bool("calibrate", false, "calibrate estimator thresholds from a fleet sample first")
 	csvPolicy := flag.String("csv", "", "export this policy's per-interval series as CSV")
 	outPath := flag.String("out", "", "CSV output file (default stdout)")
@@ -87,6 +110,19 @@ func main() {
 		plan.Seed = *faultSeed
 		cs.Faults = plan
 	}
+	cs.Actuation = actuate.Config{
+		Seed:              *actSeed,
+		LatencyIntervals:  *actLatency,
+		JitterIntervals:   *actJitter,
+		FailRate:          *actFail,
+		ThrottleRate:      *actThrottle,
+		BurstStart:        *actBurstStart,
+		BurstLen:          *actBurstLen,
+		DeadlineIntervals: *actDeadline,
+	}
+	if !cs.Actuation.Enabled() {
+		cs.Actuation = actuate.Config{}
+	}
 	if *budgetTotal > 0 {
 		n := *budgetIntervals
 		if n == 0 {
@@ -122,6 +158,14 @@ func main() {
 		for _, r := range comp.Results {
 			if r.FaultStats.Total() > 0 {
 				fmt.Printf("  %-6s %s\n", r.Policy, r.FaultStats)
+			}
+		}
+	}
+	if cs.Actuation.Enabled() {
+		fmt.Printf("\nresize actuation (seed %d; the offline Max run stays synchronous):\n", *actSeed)
+		for _, r := range comp.Results {
+			if r.ActuationStats.Ops > 0 {
+				fmt.Printf("  %-6s %s\n", r.Policy, r.ActuationStats)
 			}
 		}
 	}

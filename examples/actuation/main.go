@@ -1,0 +1,95 @@
+// Actuation: fault-tolerant resize execution. A three-tenant cluster runs
+// on a throttled management fabric: every resize the auto-scalers decide is
+// an asynchronous operation that takes a billing interval to execute, can
+// be throttled or fail transiently, and — during a 15-interval storm right
+// in the initial scale-up — is throttled 100% of the time. The
+// desired-state reconciler retries with
+// capped exponential backoff, supersedes stale in-flight resizes when a
+// policy changes its mind, expires operations at their deadline, and
+// re-issues the still-desired container until the channel converges: once
+// the storm lifts, every tenant catches up to its desired size.
+//
+// Run with:
+//
+//	go run ./examples/actuation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"daasscale/internal/actuate"
+	"daasscale/internal/engine"
+	"daasscale/internal/fabric"
+	"daasscale/internal/sim"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+	runner := sim.NewRunner()
+
+	base := sim.MultiTenantSpec{
+		Tenants: []sim.TenantSpec{
+			{ID: "web", Workload: workload.DS2(), Trace: trace.Trace1(120, 1), GoalMs: 60},
+			{ID: "oltp", Workload: workload.TPCC(), Trace: trace.Trace4(120, 2), GoalMs: 200},
+			{ID: "batch", Workload: workload.CPUIO(workload.DefaultCPUIOConfig()), Trace: trace.Trace2(120, 3), GoalMs: 80},
+		},
+		Servers:    2,
+		Policy:     fabric.BestFit,
+		EngineOpts: engine.Options{WarmStart: true},
+		Seed:       7,
+	}
+
+	sync, err := runner.RunMultiTenant(ctx, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	throttled := base
+	throttled.Actuation = actuate.Config{
+		Seed:              1,
+		LatencyIntervals:  1,    // a resize takes one billing interval to execute
+		FailRate:          0.10, // …and sometimes fails transiently
+		ThrottleRate:      0.05, // …or gets rate-limited by the fabric
+		BurstStart:        2,    // intervals [2, 17): a full throttle storm right
+		BurstLen:          15,   // in the initial scale-up — every attempt refused
+		DeadlineIntervals: 5,    // operations expire after 5 intervals…
+		// …but reconciliation is level-triggered: an expired operation's
+		// still-desired target is re-issued as a fresh operation, so the
+		// fleet converges once the storm lifts.
+	}
+	async, err := runner.RunMultiTenant(ctx, throttled)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("same cluster, synchronous vs throttled asynchronous resizes:")
+	fmt.Printf("\n%-6s  %12s  %12s  %10s  %10s\n",
+		"tenant", "sync cost", "async cost", "sync p95", "async p95")
+	for i, sr := range sync.Tenants {
+		ar := async.Tenants[i]
+		fmt.Printf("%-6s  %12.0f  %12.0f  %8.1f ms  %8.1f ms\n",
+			sr.ID, sr.TotalCost, ar.TotalCost, sr.P95Ms, ar.P95Ms)
+	}
+
+	fmt.Println("\nwhat the actuation channel did per tenant:")
+	for _, tr := range async.Tenants {
+		fmt.Printf("  %-6s %s\n", tr.ID, tr.Actuation)
+	}
+
+	var throttledAttempts, expired, applied int
+	for _, tr := range async.Tenants {
+		throttledAttempts += tr.Actuation.Throttled
+		expired += tr.Actuation.Expired
+		applied += tr.Actuation.Applied
+	}
+	fmt.Printf("\nthe storm throttled %d attempts and expired %d operations, yet %d\n",
+		throttledAttempts, expired, applied)
+	fmt.Println("resizes still landed: expired operations do not lose the desired")
+	fmt.Println("state — the reconciler re-issues it until desired == actual, so a")
+	fmt.Println("burst of refusals delays scaling instead of derailing it.")
+}

@@ -18,12 +18,34 @@ package exec
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError is the error a recovered worker panic converts into: a single
+// panicking task fails its run cleanly instead of killing the whole
+// process (one misbehaving tenant out of a thousand must not take the
+// fleet replay down with it). It records the task index, the recovered
+// value, and the goroutine stack at the point of the panic.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error renders the panic with its stack, so the failure is debuggable
+// from the run error alone.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
 
 // durationWindow is the size of the ring buffer of recent per-task wall
 // times used for the p50/p95 progress metrics. A fixed window keeps the
@@ -64,6 +86,13 @@ type Options struct {
 	// ProgressEvery is the completion stride between OnProgress calls
 	// (≤ 0 → every 64 completions).
 	ProgressEvery int
+	// TaskTimeout, when > 0, is a per-task deadline watchdog: each task
+	// runs under a context that expires TaskTimeout after the task
+	// starts. The watchdog is cooperative — tasks must honour their
+	// context (every simulation loop probes it once per billing
+	// interval) — and an expired task fails its batch with an error
+	// wrapping context.DeadlineExceeded.
+	TaskTimeout time.Duration
 }
 
 // Pool executes batches of independent, index-addressed tasks on a fixed
@@ -74,6 +103,7 @@ type Pool struct {
 	workers int
 	onProg  func(Progress)
 	every   int
+	timeout time.Duration
 
 	total  atomic.Int64 // tasks submitted
 	done   atomic.Int64 // tasks finished
@@ -97,7 +127,7 @@ func NewPool(opts Options) *Pool {
 	if every <= 0 {
 		every = 64
 	}
-	return &Pool{workers: w, onProg: opts.OnProgress, every: every}
+	return &Pool{workers: w, onProg: opts.OnProgress, every: every, timeout: opts.TaskTimeout}
 }
 
 // Workers returns the resolved pool width.
@@ -158,7 +188,7 @@ func (p *Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i 
 					continue
 				}
 				begin := time.Now()
-				err := task(batchCtx, i)
+				err := p.runTask(batchCtx, i, task)
 				p.observe(time.Since(begin), err)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
@@ -173,6 +203,24 @@ func (p *Pool) Run(ctx context.Context, n int, task func(ctx context.Context, i 
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// runTask executes one task with the pool's safety net: a panic is
+// recovered into a *PanicError (the run fails cleanly, the process
+// survives), and the optional per-task deadline watchdog bounds the
+// task's context.
+func (p *Pool) runTask(ctx context.Context, i int, task func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	return task(ctx, i)
 }
 
 // observe records one finished task and emits progress on the stride.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -185,5 +186,85 @@ func TestSplitSeed(t *testing.T) {
 	}
 	if SplitSeedString(9, "x") != SplitSeedString(9, "x") {
 		t.Error("SplitSeedString not deterministic")
+	}
+}
+
+// TestPanicRecoveredIntoTaskError: a panicking task must not kill the
+// process — Run returns a *PanicError carrying the index, the panic value
+// and a stack trace, and the remaining work is canceled like any other
+// first task error.
+func TestPanicRecoveredIntoTaskError(t *testing.T) {
+	var done atomic.Int64
+	err := ForEach(context.Background(), 64, Options{Workers: 4}, func(ctx context.Context, i int) error {
+		if i == 7 {
+			panic("tenant 7 corrupted its engine")
+		}
+		done.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic must surface as a task error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Index != 7 {
+		t.Errorf("Index = %d, want 7", pe.Index)
+	}
+	if pe.Value != "tenant 7 corrupted its engine" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "exec_test.go") {
+		t.Errorf("stack does not point at the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "task 7 panicked") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+// TestPanicCountsAsFailedTask: the pool's metrics classify a recovered
+// panic as a failed task, not a lost one.
+func TestPanicCountsAsFailedTask(t *testing.T) {
+	p := NewPool(Options{Workers: 2})
+	_ = p.Run(context.Background(), 4, func(ctx context.Context, i int) error {
+		if i == 0 {
+			panic(i)
+		}
+		return nil
+	})
+	st := p.Stats()
+	if st.Failed == 0 {
+		t.Errorf("recovered panic must count as a failed task: %+v", st)
+	}
+	if st.Done != st.Total {
+		t.Errorf("Done %d must converge to Total %d after the batch", st.Done, st.Total)
+	}
+}
+
+// TestTaskTimeoutWatchdog: with TaskTimeout set, a task that honours its
+// context is cut off at the deadline and the batch fails with an error
+// wrapping context.DeadlineExceeded; the parent context stays live.
+func TestTaskTimeoutWatchdog(t *testing.T) {
+	err := ForEach(context.Background(), 2, Options{Workers: 2, TaskTimeout: 10 * time.Millisecond},
+		func(ctx context.Context, i int) error {
+			if i == 0 {
+				return nil // fast task: finishes well inside the deadline
+			}
+			<-ctx.Done() // slow task: waits for the watchdog
+			return ctx.Err()
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestTaskTimeoutNotTriggeredByFastTasks: tasks that finish inside the
+// deadline are unaffected by the watchdog.
+func TestTaskTimeoutNotTriggeredByFastTasks(t *testing.T) {
+	err := ForEach(context.Background(), 32, Options{Workers: 4, TaskTimeout: time.Second},
+		func(ctx context.Context, i int) error { return ctx.Err() })
+	if err != nil {
+		t.Fatalf("fast tasks must pass under the watchdog: %v", err)
 	}
 }

@@ -14,11 +14,19 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"daasscale/internal/resource"
 )
+
+// ErrRefused is the sentinel wrapped by every resize the fabric cannot
+// satisfy — no server in the cluster can host the requested container.
+// Callers branch with errors.Is(err, ErrRefused) to distinguish a refusal
+// (the tenant keeps its container, a retry may succeed once the cluster
+// changes) from a genuine fault such as resizing an unplaced tenant.
+var ErrRefused = errors.New("fabric: resize refused")
 
 // PlacementPolicy selects the server for a new or migrating tenant among
 // those with room.
@@ -232,7 +240,7 @@ func (f *Fabric) Resize(tenantID string, to resource.Container) (migrated bool, 
 	dst := f.pick(to.Alloc, idx)
 	if dst < 0 {
 		f.refusals++
-		return false, fmt.Errorf("fabric: no server can host tenant %q at %s; resize refused", tenantID, to.Name)
+		return false, fmt.Errorf("%w: no server can host tenant %q at %s", ErrRefused, tenantID, to.Name)
 	}
 	delete(host.tenants, tenantID)
 	f.servers[dst].tenants[tenantID] = to

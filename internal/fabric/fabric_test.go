@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -152,6 +153,14 @@ func TestResizeRefusedKeepsContainer(t *testing.T) {
 	migrated, err := f.Resize("c", cat.AtStep(9))
 	if err == nil || migrated {
 		t.Fatalf("resize should be refused: migrated=%v err=%v", migrated, err)
+	}
+	if !errors.Is(err, ErrRefused) {
+		t.Errorf("refusal must wrap ErrRefused, got %v", err)
+	}
+	// A non-refusal fault — resizing a tenant the fabric never placed —
+	// must NOT look like a refusal to errors.Is.
+	if _, err := f.Resize("ghost", cat.AtStep(1)); err == nil || errors.Is(err, ErrRefused) {
+		t.Errorf("unplaced-tenant resize must fail without ErrRefused, got %v", err)
 	}
 	if c, _ := f.Container("c"); c.Name != "C2" {
 		t.Errorf("refused resize must keep the container, got %s", c.Name)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"daasscale/internal/actuate"
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
 	"daasscale/internal/exec"
@@ -34,6 +35,9 @@ type BallooningArm struct {
 	// ShrunkAt and RevertedAt are the intervals at which memory was first
 	// reduced and restored (−1 when the event never happened).
 	ShrunkAt, RevertedAt int
+	// Actuation reports the arm's memory-target actuation counters
+	// (all-zero on the synchronous path).
+	Actuation actuate.Stats
 }
 
 // BaselineAvgMs returns the average latency before the shrink began.
@@ -103,6 +107,12 @@ type BallooningSpec struct {
 	// telemetry channel (zero value = clean). Both arms share one stream
 	// seed, so they see identical fault timing.
 	Faults faults.Plan
+	// Actuation configures the memory-target channel between the control
+	// logic and the engine (zero value = synchronous): target changes
+	// take actuation latency to land, can be throttled or fail, and the
+	// latest desired target is reconciled. Both arms share one stream
+	// seed, so they see identical actuation chaos.
+	Actuation actuate.Config
 }
 
 // RunBallooningExperiment reproduces Figure 14: a CPUIO workload with a
@@ -163,6 +173,19 @@ func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (B
 		if spec.Faults.Enabled() {
 			inj = faults.NewInjector(spec.Faults, exec.SplitSeed(spec.Seed, faultStreamSalt))
 		}
+		var act *actuate.Actuator[float64]
+		if spec.Actuation.Enabled() {
+			act = actuate.New(spec.Actuation, exec.SplitSeed(spec.Seed, actuationStreamSalt), 0.0)
+		}
+		// setMem routes a memory-target decision to the engine: directly on
+		// the synchronous path, as a desired-state write on the actuated one.
+		setMem := func(mb float64) {
+			if act == nil {
+				eng.SetMemoryTargetMB(mb)
+			} else {
+				act.Submit(mb)
+			}
+		}
 		balloon := estimator.NewBalloon(estimator.DefaultBalloonConfig())
 		badStreak := 0
 
@@ -200,7 +223,7 @@ func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (B
 				// latency due to unmet disk I/O demand and reverts").
 				switch {
 				case i == spec.ShrinkAt:
-					eng.SetMemoryTargetMB(nextMem)
+					setMem(nextMem)
 					arm.ShrunkAt = i
 				case arm.ShrunkAt >= 0 && arm.RevertedAt < 0:
 					sig, ok := tm.Signals()
@@ -208,36 +231,44 @@ func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (B
 						badStreak++
 					}
 					if badStreak >= 2 { // reaction delay of the control loop
-						eng.SetMemoryTargetMB(0)
+						setMem(0)
 						arm.RevertedAt = i
 						arm.Aborted = true
 					}
 				}
-				continue
-			}
-
-			// Ballooning arm: the probe starts at ShrinkAt and follows the
-			// protocol; the engine tracks the probe's target.
-			if i >= spec.ShrinkAt && arm.RevertedAt < 0 {
-				sig, ok := tm.Signals()
-				if !ok {
-					continue
-				}
-				bd := balloon.Step(sig, true, nextMem, next.Alloc[resource.DiskIO])
-				eng.SetMemoryTargetMB(bd.TargetMB)
-				if arm.ShrunkAt < 0 && bd.TargetMB > 0 {
-					arm.ShrunkAt = i
-				}
-				if bd.Aborted {
-					arm.Aborted = true
-					arm.RevertedAt = i
-				}
-				if bd.MemoryDemandLow {
-					// Would be a genuine scale-down; does not happen with a
-					// 3GB working set.
-					arm.RevertedAt = i
+			} else if i >= spec.ShrinkAt && arm.RevertedAt < 0 {
+				// Ballooning arm: the probe starts at ShrinkAt and follows
+				// the protocol; the engine tracks the probe's target.
+				if sig, ok := tm.Signals(); ok {
+					bd := balloon.Step(sig, true, nextMem, next.Alloc[resource.DiskIO])
+					setMem(bd.TargetMB)
+					if arm.ShrunkAt < 0 && bd.TargetMB > 0 {
+						arm.ShrunkAt = i
+					}
+					if bd.Aborted {
+						arm.Aborted = true
+						arm.RevertedAt = i
+					}
+					if bd.MemoryDemandLow {
+						// Would be a genuine scale-down; does not happen
+						// with a 3GB working set.
+						arm.RevertedAt = i
+					}
 				}
 			}
+			if act != nil {
+				// Reconcile the latest desired memory target through the
+				// actuation channel.
+				if err := act.Step(i, func(mb float64) error {
+					eng.SetMemoryTargetMB(mb)
+					return nil
+				}); err != nil {
+					return arm, fmt.Errorf("interval %d: %w", i, err)
+				}
+			}
+		}
+		if act != nil {
+			arm.Actuation = act.Stats()
 		}
 		return arm, nil
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 
+	"daasscale/internal/actuate"
 	"daasscale/internal/budget"
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
@@ -44,6 +45,11 @@ type ComparisonSpec struct {
 	// derives the latency goal always stays clean, so clean and chaos
 	// comparisons share the same goal.
 	Faults faults.Plan
+	// Actuation configures the decision→engine channel of every policy
+	// run (zero value = synchronous, infallible). Like Faults, the
+	// offline Max run that derives the latency goal stays synchronous, so
+	// actuated and clean comparisons share the same goal.
+	Actuation actuate.Config
 }
 
 // Comparison is the outcome of one experiment: the goal that was derived

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"daasscale/internal/actuate"
 	"daasscale/internal/core"
 	"daasscale/internal/engine"
 	"daasscale/internal/exec"
@@ -38,9 +40,16 @@ type TenantResult struct {
 	AvgCostPerInterval float64
 	P95Ms              float64
 	Changes            int
-	// RefusedResizes counts scale-ups the fabric could not place; the
-	// tenant kept its container for those intervals.
+	// RefusedResizes counts resize attempts the fabric could not place;
+	// the tenant kept its container for those. On the actuated path each
+	// refused attempt counts (the actuator retries refusals).
 	RefusedResizes int
+	// Migrations counts resizes the fabric executed by moving this tenant
+	// to another server.
+	Migrations int
+	// Actuation reports the tenant's actuation-channel counters
+	// (all-zero on the synchronous path).
+	Actuation actuate.Stats
 }
 
 // MultiTenantResult is the outcome of a cluster run.
@@ -79,6 +88,13 @@ type MultiTenantSpec struct {
 	// fault stream, derived from its tenant seed, so fault timing is
 	// independent across tenants yet bit-identical at any worker count.
 	Faults faults.Plan
+	// Actuation configures each tenant's decision→fabric channel (zero
+	// value = synchronous). When enabled, every resize the tenant's
+	// auto-scaler decides becomes an asynchronous operation routed
+	// through the shared fabric: refusals retry with backoff, stale
+	// resizes are superseded, and the per-tenant streams derive from the
+	// tenant seeds, so chaos runs stay bit-identical at any worker count.
+	Actuation actuate.Config
 }
 
 // RunMultiTenant executes the cluster simulation. Each tenant gets its own
@@ -105,6 +121,7 @@ type tenantState struct {
 	scaler  *core.AutoScaler
 	gen     *workload.Generator
 	inj     *faults.Injector
+	act     *actuate.Actuator[resource.Container]
 	samples []float64
 	snap    telemetry.Snapshot
 	res     TenantResult
@@ -112,18 +129,20 @@ type tenantState struct {
 
 // observe routes the interval snapshot to the tenant's auto-scaler, through
 // the fault injector in chaos mode (same contract as observeThroughFaults:
-// a withheld interval yields a hold decision, and Changed is re-derived
-// against the engine's actual container after a multi-snapshot burst).
-func (st *tenantState) observe() core.Decision {
+// a withheld interval yields a hold decision with observed false, and
+// Changed is re-derived against the engine's actual container after a
+// multi-snapshot burst).
+func (st *tenantState) observe() (d core.Decision, observed bool) {
 	if st.inj == nil {
-		return st.scaler.Observe(st.snap)
+		return st.scaler.Observe(st.snap), true
 	}
-	d := core.Decision{Target: st.scaler.Container(), BalloonTargetMB: st.eng.MemoryTargetMB()}
+	d = core.Decision{Target: st.scaler.Container(), BalloonTargetMB: st.eng.MemoryTargetMB()}
 	for _, fs := range st.inj.Apply(st.snap) {
 		d = st.scaler.Observe(fs)
+		observed = true
 	}
 	d.Changed = d.Target.Name != st.eng.Container().Name
-	return d
+	return d, observed
 }
 
 // runMultiTenant is the context-aware, pool-parallel implementation behind
@@ -181,6 +200,12 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		if spec.Faults.Enabled() {
 			st.inj = faults.NewInjector(spec.Faults, exec.SplitSeed(ts.Seed, faultStreamSalt))
 		}
+		if spec.Actuation.Enabled() {
+			// Derived from the tenant seed like the fault stream, so the
+			// actuation chaos is independent across tenants yet identical
+			// at any worker count.
+			st.act = actuate.New(spec.Actuation, exec.SplitSeed(ts.Seed, actuationStreamSalt), scaler.Container())
+		}
 		eng.SetLatencySink(func(ms float64) { st.samples = append(st.samples, ms) })
 		return st, nil
 	})
@@ -218,18 +243,67 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		// order (the fabric's placement state makes the order load-bearing).
 		for _, st := range states {
 			st.res.TotalCost += st.snap.Cost
-			d := st.observe()
-			if d.Changed {
-				if _, err := fab.Resize(st.spec.ID, d.Target); err != nil {
-					// Refused: the tenant keeps its container; reconcile the
-					// controller with the fabric's reality.
-					cur, _ := fab.Container(st.spec.ID)
-					st.scaler.ForceContainer(cur)
-					st.res.RefusedResizes++
-				} else {
-					st.eng.SetContainer(d.Target)
-					st.res.Changes++
+			d, observed := st.observe()
+			if st.act == nil {
+				// Synchronous path: the fabric executes (or refuses) the
+				// resize within the decision interval.
+				if d.Changed {
+					migrated, err := fab.Resize(st.spec.ID, d.Target)
+					switch {
+					case errors.Is(err, fabric.ErrRefused):
+						// Refused: the tenant keeps its container; reconcile
+						// the controller with the fabric's reality.
+						cur, _ := fab.Container(st.spec.ID)
+						st.scaler.ForceContainer(cur)
+						st.res.RefusedResizes++
+					case err != nil:
+						// A non-refusal fabric fault (e.g. an unplaced
+						// tenant) is a bug, not an outcome — surface it
+						// instead of miscounting it as a refusal.
+						return MultiTenantResult{}, fmt.Errorf("sim: interval %d: resizing tenant %q: %w", m, st.spec.ID, err)
+					default:
+						st.eng.SetContainer(d.Target)
+						st.res.Changes++
+						if migrated {
+							st.res.Migrations++
+						}
+					}
 				}
+			} else {
+				// Actuated path: the decision is a desired-state write; the
+				// actuator reconciles it through the fabric. Refusals and
+				// migrations become observable outcomes: a refused attempt
+				// retries with backoff (another tenant's shrink can free
+				// room), a stale in-flight resize is superseded.
+				if observed {
+					st.act.Submit(d.Target)
+				}
+				err := st.act.Step(m, func(c resource.Container) error {
+					migrated, err := fab.Resize(st.spec.ID, c)
+					if errors.Is(err, fabric.ErrRefused) {
+						st.res.RefusedResizes++
+						return fmt.Errorf("%w: %v", actuate.ErrRefused, err)
+					}
+					if err != nil {
+						return err
+					}
+					st.eng.SetContainer(c)
+					st.res.Changes++
+					if migrated {
+						st.res.Migrations++
+					}
+					return nil
+				})
+				if err != nil {
+					return MultiTenantResult{}, fmt.Errorf("sim: interval %d: resizing tenant %q: %w", m, st.spec.ID, err)
+				}
+				// Re-anchor the controller to the fabric's reality (the same
+				// reconcile the synchronous path does on refusal): its next
+				// decision starts from the actual container, so requests stay
+				// incremental — a refused grow is re-derived from observations
+				// instead of compounding into a target the cluster can never
+				// place.
+				st.scaler.ForceContainer(st.act.Actual())
 			}
 			st.eng.SetMemoryTargetMB(d.BalloonTargetMB)
 		}
@@ -249,6 +323,9 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		if len(st.samples) > 0 {
 			// The per-tenant sample buffer is dead after this aggregate.
 			st.res.P95Ms = stats.QuantileSelect(st.samples, 0.95)
+		}
+		if st.act != nil {
+			st.res.Actuation = st.act.Stats()
 		}
 		out.Tenants = append(out.Tenants, st.res)
 	}

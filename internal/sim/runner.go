@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"daasscale/internal/actuate"
 	"daasscale/internal/budget"
 	"daasscale/internal/core"
 	"daasscale/internal/engine"
@@ -39,6 +40,7 @@ type Runner struct {
 	engineSet   bool
 	jitter      float64
 	faults      faults.Plan
+	actuation   actuate.Config
 }
 
 // Option configures a Runner.
@@ -94,6 +96,17 @@ func WithJitter(j float64) Option {
 // with exec.SplitSeed, not drawn from a shared sequence).
 func WithFaults(p faults.Plan) Option {
 	return func(r *Runner) { r.faults = p }
+}
+
+// WithActuation sets the resize-actuation config applied to every run
+// whose spec declares none of its own — the decision→engine channel gets
+// actuation latency, injected throttles/failures, retry with backoff,
+// deadlines and desired-state reconciliation (see package actuate). Like
+// WithFaults, the chaos is seed-deterministic: parallel runs stay
+// bit-identical to serial ones, and offline goal derivation stays
+// synchronous so actuated and clean comparisons share the same goal.
+func WithActuation(cfg actuate.Config) Option {
+	return func(r *Runner) { r.actuation = cfg }
 }
 
 // NewRunner builds a Runner from functional options. The zero-option
@@ -155,6 +168,9 @@ func (r *Runner) applyDefaults(spec Spec) Spec {
 	if spec.Faults == (faults.Plan{}) {
 		spec.Faults = r.faults
 	}
+	if spec.Actuation == (actuate.Config{}) {
+		spec.Actuation = r.actuation
+	}
 	return spec
 }
 
@@ -210,12 +226,18 @@ func (r *Runner) DeriveOffline(ctx context.Context, w *workload.Workload, tr *tr
 // perturbs the telemetry channel of the five policy runs; the Max run that
 // derives the offline baselines and the latency goal stays clean, so clean
 // and chaos comparisons share the same goal and are directly comparable.
+// An Actuation config follows the same rule: it governs the resize channel
+// of the five policy runs while the offline Max derivation stays
+// synchronous.
 func (r *Runner) RunComparison(ctx context.Context, cs ComparisonSpec) (Comparison, error) {
 	cs.Catalog = r.resolveCatalog(cs.Catalog)
 	cs.Seed = r.resolveSeed(cs.Seed)
 	cs.EngineOpts = r.resolveEngineOpts(cs.EngineOpts)
 	if cs.Faults == (faults.Plan{}) {
 		cs.Faults = r.faults
+	}
+	if cs.Actuation == (actuate.Config{}) {
+		cs.Actuation = r.actuation
 	}
 	if err := cs.Validate(); err != nil {
 		return Comparison{}, err
@@ -273,6 +295,7 @@ func (r *Runner) RunComparison(ctx context.Context, cs ComparisonSpec) (Comparis
 			EngineOpts: cs.EngineOpts,
 			GoalMs:     goal,
 			Faults:     cs.Faults,
+			Actuation:  cs.Actuation,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: policy %s: %w", policies[i].Name(), err)
@@ -293,6 +316,9 @@ func (r *Runner) RunBallooning(ctx context.Context, spec BallooningSpec) (Balloo
 	if spec.Faults == (faults.Plan{}) {
 		spec.Faults = r.faults
 	}
+	if spec.Actuation == (actuate.Config{}) {
+		spec.Actuation = r.actuation
+	}
 	if err := spec.Validate(); err != nil {
 		return BallooningResult{}, err
 	}
@@ -311,6 +337,9 @@ func (r *Runner) RunMultiTenant(ctx context.Context, spec MultiTenantSpec) (Mult
 	spec.EngineOpts = r.resolveEngineOpts(spec.EngineOpts)
 	if spec.Faults == (faults.Plan{}) {
 		spec.Faults = r.faults
+	}
+	if spec.Actuation == (actuate.Config{}) {
+		spec.Actuation = r.actuation
 	}
 	if err := spec.Validate(); err != nil {
 		return MultiTenantResult{}, err

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"daasscale/internal/actuate"
 	"daasscale/internal/engine"
 	"daasscale/internal/exec"
 	"daasscale/internal/faults"
@@ -53,6 +54,14 @@ type Spec struct {
 	// interval the plan drops, the policy simply makes no decision and the
 	// previous container is kept.
 	Faults faults.Plan
+	// Actuation is the configuration of the decision→engine channel (zero
+	// value = the historical synchronous, infallible path). When enabled,
+	// every resize the policy decides becomes an asynchronous operation
+	// with actuation latency, injected throttles/failures, retry with
+	// backoff, deadlines, and desired-state reconciliation — see package
+	// actuate. Like Faults, the chaos is seed-deterministic: parallel runs
+	// stay bit-identical to serial ones.
+	Actuation actuate.Config
 }
 
 // IntervalPoint is one billing interval of the drill-down series.
@@ -106,6 +115,9 @@ type Result struct {
 	// FaultStats reports what the fault injector did to the telemetry
 	// channel (all-zero for a clean run).
 	FaultStats faults.Stats
+	// ActuationStats reports what the actuation channel did to the
+	// policy's resize decisions (all-zero on the synchronous path).
+	ActuationStats actuate.Stats
 
 	Series []IntervalPoint
 }
@@ -152,6 +164,12 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		// bit-identical to serial ones.
 		inj = faults.NewInjector(spec.Faults, exec.SplitSeed(spec.Seed, faultStreamSalt))
 	}
+	var act *actuate.Actuator[resource.Container]
+	if spec.Actuation.Enabled() {
+		// Same determinism anchor as the fault injector: the actuation
+		// stream is derived from the run seed alone, never from scheduling.
+		act = actuate.New(spec.Actuation, exec.SplitSeed(spec.Seed, actuationStreamSalt), spec.Policy.Container())
+	}
 
 	res := Result{
 		Policy:   spec.Policy.Name(),
@@ -172,10 +190,29 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		res.TotalCost += snap.Cost
 		cpuFrac := eng.Container().Alloc[resource.CPU] / ServerCPUms
 
-		dec := observeThroughFaults(spec.Policy, inj, eng, snap)
-		if dec.Changed {
-			res.Changes++
-			eng.SetContainer(dec.Target)
+		dec, observed := observeThroughFaults(spec.Policy, inj, eng, snap)
+		if act == nil {
+			// Synchronous path: the decision applies instantly and
+			// infallibly, the historical (pre-actuation) behavior.
+			if dec.Changed {
+				res.Changes++
+				eng.SetContainer(dec.Target)
+			}
+		} else {
+			// Asynchronous path: the decision is a desired-state write; the
+			// actuator reconciles it onto the engine through the failable
+			// channel. Submit is idempotent, so re-issuing an unchanged
+			// target every interval is free; a withheld interval submits
+			// nothing, leaving in-flight operations alone.
+			if observed {
+				act.Submit(dec.Target)
+			}
+			if err := act.Step(m, func(c resource.Container) error {
+				eng.SetContainer(c)
+				return nil
+			}); err != nil {
+				return Result{}, fmt.Errorf("sim: %s×%s interval %d: %w", res.Workload, res.Trace, m, err)
+			}
 		}
 		eng.SetMemoryTargetMB(dec.BalloonTargetMB)
 
@@ -219,6 +256,15 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 	if inj != nil {
 		res.FaultStats = inj.Stats()
 	}
+	if act != nil {
+		// On the actuated path, Changes counts resizes that actually
+		// reached the engine, not decisions that merely wished for one.
+		res.ActuationStats = act.Stats()
+		res.Changes = res.ActuationStats.Applied
+		if res.Intervals > 0 {
+			res.ChangeFraction = float64(res.Changes) / float64(res.Intervals)
+		}
+	}
 	return res, nil
 }
 
@@ -226,24 +272,32 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 // consumers of the run seed (the engine and the load generator).
 const faultStreamSalt = 0x6661756C74 // "fault"
 
+// actuationStreamSalt decorrelates the actuation channel's stream from the
+// fault injector's and the engine's.
+const actuationStreamSalt = 0x616374 // "act"
+
 // observeThroughFaults routes one interval's snapshot to the policy, via
 // the fault injector when chaos mode is on. When the injector withholds
 // the interval entirely (drop or reorder hold-back), the policy makes no
 // decision: the current container and memory target are kept — the
-// graceful-degradation contract of a lost telemetry payload. When the
-// injector delivers several snapshots (a duplicate, or a held reordered
-// one released), the policy observes each in turn and the last decision
-// wins; Changed is then re-derived against the engine's actual container,
-// because a mid-burst decision may have moved the policy's internal
-// container while the final decision reports no further change.
-func observeThroughFaults(p policy.Policy, inj *faults.Injector, eng *engine.Engine, snap telemetry.Snapshot) policy.Decision {
+// graceful-degradation contract of a lost telemetry payload — and
+// observed is false, so the actuated path knows not to treat the
+// fallback as a fresh desired-state write (a lost interval must not
+// supersede an in-flight resize). When the injector delivers several
+// snapshots (a duplicate, or a held reordered one released), the policy
+// observes each in turn and the last decision wins; Changed is then
+// re-derived against the engine's actual container, because a mid-burst
+// decision may have moved the policy's internal container while the
+// final decision reports no further change.
+func observeThroughFaults(p policy.Policy, inj *faults.Injector, eng *engine.Engine, snap telemetry.Snapshot) (dec policy.Decision, observed bool) {
 	if inj == nil {
-		return p.Observe(snap)
+		return p.Observe(snap), true
 	}
-	dec := policy.Decision{Target: eng.Container(), BalloonTargetMB: eng.MemoryTargetMB()}
+	dec = policy.Decision{Target: eng.Container(), BalloonTargetMB: eng.MemoryTargetMB()}
 	for _, fs := range inj.Apply(snap) {
 		dec = p.Observe(fs)
+		observed = true
 	}
 	dec.Changed = dec.Target.Name != eng.Container().Name
-	return dec
+	return dec, observed
 }

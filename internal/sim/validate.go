@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"daasscale/internal/actuate"
 	"daasscale/internal/faults"
 	"daasscale/internal/policy"
 	"daasscale/internal/resource"
@@ -40,6 +41,16 @@ func validateFaults(p faults.Plan) error {
 	return nil
 }
 
+// validateActuation rejects malformed actuation configs (rates outside
+// [0, 1] or NaN, negative interval counts), wrapping the package's error
+// in the uniform ErrInvalidSpec.
+func validateActuation(cfg actuate.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return invalidSpec("actuation config: %v", err)
+	}
+	return nil
+}
+
 // validatePolicies rejects empty policy lists and nil entries.
 func validatePolicies(ps []policy.Policy) error {
 	if len(ps) == 0 {
@@ -70,7 +81,10 @@ func (s Spec) Validate() error {
 	case s.GoalMs < 0:
 		return invalidSpec("GoalMs must be ≥ 0, got %v", s.GoalMs)
 	}
-	return validateFaults(s.Faults)
+	if err := validateFaults(s.Faults); err != nil {
+		return err
+	}
+	return validateActuation(s.Actuation)
 }
 
 // Validate checks a six-policy comparison spec.
@@ -86,6 +100,9 @@ func (cs ComparisonSpec) Validate() error {
 		return invalidSpec("GoalFactor must exceed 1, got %v", cs.GoalFactor)
 	}
 	if err := validateFaults(cs.Faults); err != nil {
+		return err
+	}
+	if err := validateActuation(cs.Actuation); err != nil {
 		return err
 	}
 	return validateCatalog(cs.Catalog)
@@ -116,7 +133,10 @@ func (spec MultiTenantSpec) Validate() error {
 		}
 		ids[ts.ID] = true
 	}
-	return validateFaults(spec.Faults)
+	if err := validateFaults(spec.Faults); err != nil {
+		return err
+	}
+	return validateActuation(spec.Actuation)
 }
 
 // Validate checks a Figure 14 ballooning spec.
@@ -131,5 +151,8 @@ func (spec BallooningSpec) Validate() error {
 	case spec.Intervals > 0 && spec.ShrinkAt >= spec.Intervals:
 		return invalidSpec("ShrinkAt %d is past the end of the run (%d intervals)", spec.ShrinkAt, spec.Intervals)
 	}
-	return validateFaults(spec.Faults)
+	if err := validateFaults(spec.Faults); err != nil {
+		return err
+	}
+	return validateActuation(spec.Actuation)
 }
