@@ -5,15 +5,18 @@
 
 GO ?= go
 
-.PHONY: all build test vet race alloc-gate chaos verify bench bench-all
+.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all
 
 all: verify
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order, so an
+# accidental inter-test dependency fails loudly instead of hiding behind
+# file order. The shuffle seed prints on failure for reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +37,13 @@ alloc-gate:
 chaos:
 	$(GO) test -count=1 ./internal/faults/... ./internal/actuate/... \
 		./internal/sim -run 'Chaos|Actuation'
+
+# Smoke the decision-audit surface end to end: a real daas-sim run under
+# telemetry + actuation chaos must print rule explanations sourced from
+# the loop.DecisionRecord stream.
+explain:
+	$(GO) run ./cmd/daas-sim -workload ds2 -trace trace3 -faults 0.1 \
+		-actuation-latency 1 -actuation-fail 0.1 -explain -explain-rows 24
 
 verify: build test vet race alloc-gate chaos
 

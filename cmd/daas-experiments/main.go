@@ -17,6 +17,11 @@
 //
 //	daas-experiments [-seed S] [-quick] [-workers W] [-progress] [-faults R]
 //	                 [-actuation-latency N -actuation-fail R]
+//	                 [-explain -explain-rows N]
+//
+// With -explain every end-to-end comparison additionally collects the Auto
+// policy's per-interval decision-audit stream (loop.DecisionRecord) and
+// prints its rule-level explanations after the comparison table.
 //
 // With -faults R > 0 every simulation's telemetry channel runs under a
 // deterministic uniform fault plan (rate R spread over the fault kinds) —
@@ -62,6 +67,8 @@ func main() {
 	faultRate := flag.Float64("faults", 0, "total telemetry fault rate in [0,1] for every simulation (0 = clean)")
 	actLatency := flag.Int("actuation-latency", 0, "billing intervals every resize takes to execute (0 = synchronous)")
 	actFail := flag.Float64("actuation-fail", 0, "per-attempt resize failure probability in [0,1] (needs -actuation-latency or is its own trigger)")
+	explain := flag.Bool("explain", false, "append Auto's decision-audit trail to every end-to-end comparison")
+	explainRows := flag.Int("explain-rows", 20, "maximum audit lines per -explain trail")
 	outDir := flag.String("out", "", "also write every policy's per-interval series as CSV files into this directory")
 	markdownPath := flag.String("markdown", "", "also write the comparison tables as a markdown report to this file")
 	flag.Parse()
@@ -180,11 +187,18 @@ func main() {
 			Workload:   e.w,
 			Trace:      e.tr,
 			GoalFactor: e.goalFactor,
+			Audit:      *explain,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		report.ComparisonTable(out, e.title, comp)
+		if *explain {
+			if r, ok := comp.ByPolicy("Auto"); ok {
+				fmt.Fprintln(out)
+				report.ExplainTable(out, "Auto — "+e.title, r.Audit, *explainRows)
+			}
+		}
 		if md != nil {
 			report.MarkdownComparison(md, e.title, comp)
 		}

@@ -74,6 +74,9 @@ func main() {
 	actDeadline := flag.Int("actuation-deadline", 0, "per-operation deadline in intervals (0 = none)")
 	actSeed := flag.Int64("actuation-seed", 1, "actuation-chaos seed (varies actuation faults independently of -seed)")
 	calibrate := flag.Bool("calibrate", false, "calibrate estimator thresholds from a fleet sample first")
+	explain := flag.Bool("explain", false, "print the per-interval decision-audit trail (rule explanations, fault and actuation events)")
+	explainPolicy := flag.String("explain-policy", "Auto", "policy whose audit trail -explain prints")
+	explainRows := flag.Int("explain-rows", 40, "maximum audit lines -explain prints")
 	csvPolicy := flag.String("csv", "", "export this policy's per-interval series as CSV")
 	outPath := flag.String("out", "", "CSV output file (default stdout)")
 	flag.Parse()
@@ -104,6 +107,7 @@ func main() {
 		GoalFactor:  *goalFactor,
 		Seed:        *seed,
 		Sensitivity: sens,
+		Audit:       *explain,
 	}
 	if *faultRate > 0 {
 		plan := faults.Uniform(*faultRate)
@@ -168,6 +172,15 @@ func main() {
 				fmt.Printf("  %-6s %s\n", r.Policy, r.ActuationStats)
 			}
 		}
+	}
+
+	if *explain {
+		r, ok := comp.ByPolicy(*explainPolicy)
+		if !ok {
+			log.Fatalf("no result for policy %q", *explainPolicy)
+		}
+		fmt.Println()
+		report.ExplainTable(os.Stdout, fmt.Sprintf("%s on %s × %s", r.Policy, r.Workload, r.Trace), r.Audit, *explainRows)
 	}
 
 	if *csvPolicy != "" {

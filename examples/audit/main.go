@@ -1,0 +1,95 @@
+// Audit: the decision-audit trail of the control loop. Every runner drives
+// its tenants through the same internal/loop.TenantLoop, and every loop step
+// emits one loop.DecisionRecord — the snapshot the engine measured, the
+// container the policy asked for and the estimator rules that fired, what
+// the fault injector did to the telemetry channel, and how the actuation
+// channel handled the decision.
+//
+// This example shows both ways to consume the stream:
+//
+//  1. Spec.Audit collects the records into Result.Audit, which
+//     report.ExplainTable renders — the machinery behind `daas-sim -explain`.
+//  2. Spec.Recorder streams each record as it is emitted, for live
+//     dashboards or custom aggregation (here: a resize ticker).
+//
+// Run with:
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"daasscale/internal/core"
+	"daasscale/internal/faults"
+	"daasscale/internal/loop"
+	"daasscale/internal/policy"
+	"daasscale/internal/report"
+	"daasscale/internal/resource"
+	"daasscale/internal/sim"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+// resizeWatcher is a streaming loop.Recorder: it sees every DecisionRecord
+// the moment the loop emits it, in interval order.
+type resizeWatcher struct {
+	resizes  int
+	withheld int
+}
+
+func (w *resizeWatcher) Record(r loop.DecisionRecord) {
+	if !r.Observed {
+		w.withheld++
+	}
+	if r.Changed {
+		w.resizes++
+		fmt.Printf("  live: interval %3d  resize %s → %s\n", r.Interval, r.Actual, r.Target)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	const goalMs = 90
+
+	cat := resource.LockStepCatalog()
+	scaler, err := core.New(core.Config{
+		Catalog: cat,
+		Initial: cat.Smallest(),
+		Goal:    core.LatencyGoal{Kind: core.GoalP95, Ms: goalMs},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mildly hostile telemetry channel, so the trail shows withheld
+	// intervals and duplicate deliveries next to ordinary rule firings.
+	plan := faults.Uniform(0.15)
+	plan.Seed = 3
+
+	watcher := &resizeWatcher{}
+	fmt.Println("streaming recorder (live resize ticker):")
+	res, err := sim.NewRunner().Run(context.Background(), sim.Spec{
+		Workload: workload.DS2(),
+		Trace:    trace.Trace2(240, 2),
+		Policy:   policy.NewAuto(scaler),
+		Seed:     42,
+		GoalMs:   goalMs,
+		Faults:   plan,
+		Audit:    true,    // collect the trail into res.Audit…
+		Recorder: watcher, // …and stream it live at the same time
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("watcher saw %d resizes and %d withheld intervals (loop counted %d changes)\n\n",
+		watcher.resizes, watcher.withheld, res.Changes)
+
+	// The collected trail renders exactly like `daas-sim -explain`.
+	report.ExplainTable(os.Stdout,
+		fmt.Sprintf("Auto on %s × %s, goal %d ms", res.Workload, res.Trace, goalMs),
+		res.Audit, 25)
+}

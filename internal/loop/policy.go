@@ -1,0 +1,89 @@
+package loop
+
+import (
+	"daasscale/internal/engine"
+	"daasscale/internal/policy"
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+)
+
+// PolicyDecider adapts a policy.Policy to the Decider contract — the
+// canonical implementation of the withheld-interval and burst-delivery
+// semantics that used to live in observeThroughFaults and its clones.
+//
+// A withheld interval (nothing delivered) yields the hold decision: keep
+// the actual container and the substrate's current memory target, Changed
+// false — the graceful-degradation contract of a lost telemetry payload.
+// On a faulted channel, Changed is re-derived against the actual
+// container even when snapshots were delivered: a mid-burst decision may
+// have moved the policy's internal container while the final decision
+// reports no further change.
+type PolicyDecider struct {
+	// Policy makes the decisions. Required.
+	Policy policy.Policy
+	// MemoryTarget reports the substrate's active memory target, which a
+	// hold decision carries forward. Required.
+	MemoryTarget func() float64
+
+	last policy.Decision
+}
+
+// NewPolicyDecider builds the decider for a policy steering the given
+// engine.
+func NewPolicyDecider(p policy.Policy, eng *engine.Engine) *PolicyDecider {
+	return &PolicyDecider{Policy: p, MemoryTarget: eng.MemoryTargetMB}
+}
+
+// Observe implements Decider: feed one delivered snapshot to the policy.
+func (d *PolicyDecider) Observe(s telemetry.Snapshot) { d.last = d.Policy.Observe(s) }
+
+// Decide implements Decider.
+func (d *PolicyDecider) Decide(info StepInfo, _ telemetry.Snapshot, actual resource.Container) Decision[resource.Container] {
+	pd := d.last
+	if !info.Observed {
+		pd = policy.Decision{Target: actual, BalloonTargetMB: d.MemoryTarget()}
+	}
+	if info.Faulted {
+		pd.Changed = pd.Target.Name != actual.Name
+	}
+	return Decision[resource.Container]{
+		Target:          pd.Target,
+		Changed:         pd.Changed,
+		Submit:          info.Observed,
+		BalloonTargetMB: pd.BalloonTargetMB,
+		Explanations:    pd.Explanations,
+	}
+}
+
+// EngineApplier is the direct, infallible container applier: resizes land
+// on the engine instantly (the single-tenant substrate, no fabric).
+type EngineApplier struct {
+	Engine *engine.Engine
+}
+
+// Apply implements Applier.
+func (a EngineApplier) Apply(c resource.Container) error {
+	a.Engine.SetContainer(c)
+	return nil
+}
+
+// Actual implements Applier.
+func (a EngineApplier) Actual() resource.Container { return a.Engine.Container() }
+
+// MemoryApplier is the ballooning substrate: desired states are memory
+// targets landing on the engine's balloon.
+type MemoryApplier struct {
+	Engine *engine.Engine
+}
+
+// Apply implements Applier.
+func (a MemoryApplier) Apply(mb float64) error {
+	a.Engine.SetMemoryTargetMB(mb)
+	return nil
+}
+
+// Actual implements Applier.
+func (a MemoryApplier) Actual() float64 { return a.Engine.MemoryTargetMB() }
+
+// DescribeContainer renders a container for DecisionRecords.
+func DescribeContainer(c resource.Container) string { return c.Name }

@@ -1,0 +1,99 @@
+package loop
+
+import (
+	"daasscale/internal/actuate"
+	"daasscale/internal/faults"
+	"daasscale/internal/telemetry"
+)
+
+// DecisionRecord is the uniform audit record of one control-loop step:
+// what the loop observed, what the policy decided and why, what the fault
+// injector did to the telemetry channel, and what the actuation channel
+// did with the decision. Every runner emits the same record shape, so one
+// report/CLI surface (`-explain`) covers single runs, comparisons,
+// clusters and the ballooning arms alike.
+type DecisionRecord struct {
+	// Tenant labels the loop (the tenant ID in cluster runs, the policy
+	// or arm name elsewhere; empty when the runner did not set one).
+	Tenant string
+	// Interval is the billing interval the record describes.
+	Interval int
+
+	// Snapshot is the truthful interval snapshot — what the engine
+	// measured, before any fault perturbation.
+	Snapshot telemetry.Snapshot
+
+	// Actual is the substrate state the step started from; Target is the
+	// desired state the decision asked for (both via Config.Describe).
+	Actual string
+	Target string
+	// Changed reports whether the decision asked for a state change;
+	// Observed whether at least one telemetry snapshot reached the
+	// decider (false = the fault injector withheld the whole interval and
+	// the loop held the previous state); Submitted whether the decision
+	// was written to the actuation channel as a fresh desire.
+	Changed   bool
+	Observed  bool
+	Submitted bool
+
+	// BalloonTargetMB is the memory target the decision carried.
+	BalloonTargetMB float64
+	// Explanations are the policy's rule-firing explanations for this
+	// decision (the estimator's §4 narrative), empty for silent policies.
+	Explanations []string
+
+	// Delivered is the number of telemetry snapshots the decider saw this
+	// interval (0 = withheld, 2+ = duplicates or released reorders).
+	Delivered int
+	// Faults is the per-interval delta of the injector's counters
+	// (all-zero on a clean channel).
+	Faults faults.Stats
+	// Actuation is the per-interval delta of the actuation counters
+	// (all-zero on the synchronous path).
+	Actuation actuate.Stats
+}
+
+// Recorder receives one DecisionRecord per loop step. Implementations are
+// called synchronously from the loop, in interval order; cluster runners
+// call them from the serial decision phase, so a Recorder shared between
+// tenant loops needs no locking.
+type Recorder interface {
+	Record(DecisionRecord)
+}
+
+// Collector is the trivial Recorder: it appends every record in order.
+type Collector struct {
+	Records []DecisionRecord
+}
+
+// Record implements Recorder.
+func (c *Collector) Record(r DecisionRecord) { c.Records = append(c.Records, r) }
+
+// subFaultStats returns the field-wise difference a−b of two cumulative
+// fault counters — the events of one interval.
+func subFaultStats(a, b faults.Stats) faults.Stats {
+	d := faults.Stats{Intervals: a.Intervals - b.Intervals, Delivered: a.Delivered - b.Delivered}
+	for i := range a.Injected {
+		d.Injected[i] = a.Injected[i] - b.Injected[i]
+	}
+	return d
+}
+
+// subActuationStats returns the field-wise difference a−b of two
+// cumulative actuation counters — the events of one interval.
+func subActuationStats(a, b actuate.Stats) actuate.Stats {
+	return actuate.Stats{
+		Submitted:          a.Submitted - b.Submitted,
+		Ops:                a.Ops - b.Ops,
+		Attempts:           a.Attempts - b.Attempts,
+		Retries:            a.Retries - b.Retries,
+		Applied:            a.Applied - b.Applied,
+		Throttled:          a.Throttled - b.Throttled,
+		TransientFailures:  a.TransientFailures - b.TransientFailures,
+		Refused:            a.Refused - b.Refused,
+		Superseded:         a.Superseded - b.Superseded,
+		Expired:            a.Expired - b.Expired,
+		SumEffectIntervals: a.SumEffectIntervals - b.SumEffectIntervals,
+		MaxEffectIntervals: a.MaxEffectIntervals, // a high-water mark, not a counter
+	}
+}

@@ -1,0 +1,27 @@
+package loop
+
+// The seed-stream salts of one tenant's control loop. Every source of
+// randomness a loop owns derives its stream from the single run seed via
+// exec.SplitSeed with one of these constants, so that (a) the streams are
+// decorrelated from each other and from the engine's base stream (which
+// consumes the raw seed, salt-free), and (b) results are a pure function
+// of the seed — never of scheduling or worker count.
+//
+// These constants were historically copy-pasted into every runner
+// (sim.go, multitenant.go, ballooning.go); this file is now their only
+// home. TestSaltsPairwiseDistinct pins that no two streams can collide.
+const (
+	// FaultStreamSalt decorrelates the telemetry fault injector's stream
+	// from the other consumers of the run seed.
+	FaultStreamSalt = 0x6661756C74 // "fault"
+
+	// ActuationStreamSalt decorrelates the resize-actuation channel's
+	// stream from the fault injector's and the engine's.
+	ActuationStreamSalt = 0x616374 // "act"
+
+	// GeneratorSeedOffset is added to the run seed for the load
+	// generator's arrival-jitter stream (a plain offset rather than a
+	// SplitSeed salt, kept for bit-compatibility with the original
+	// runners).
+	GeneratorSeedOffset = 1000
+)

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"daasscale/internal/fleet"
+	"daasscale/internal/loop"
 	"daasscale/internal/sim"
 	"daasscale/internal/stats"
 	"daasscale/internal/telemetry"
@@ -264,4 +265,91 @@ func MarkdownComparison(w io.Writer, title string, comp sim.Comparison) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
+}
+
+// ExplainTable renders a decision-audit trail — the `-explain` view: one
+// line per interval that carried a decision event (a resize, a withheld
+// interval, fault or actuation activity), each followed by the policy's
+// rule-firing explanations (the estimator's §4 narrative). Quiet
+// intervals are elided; maxRows caps the lines shown (0 → 60).
+func ExplainTable(w io.Writer, title string, records []loop.DecisionRecord, maxRows int) {
+	if maxRows <= 0 {
+		maxRows = 60
+	}
+	fmt.Fprintf(w, "decision audit: %s\n", title)
+	shown, elided := 0, 0
+	for _, r := range records {
+		if !explainWorthy(r) {
+			elided++
+			continue
+		}
+		if shown >= maxRows {
+			elided++
+			continue
+		}
+		shown++
+		fmt.Fprintf(w, "%6d  %s\n", r.Interval, explainEvent(r))
+		for _, e := range r.Explanations {
+			fmt.Fprintf(w, "          · %s\n", e)
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintln(w, "  (no decision events)")
+	}
+	if elided > 0 {
+		fmt.Fprintf(w, "  (%d quiet or overflow intervals elided)\n", elided)
+	}
+}
+
+// explainWorthy reports whether an interval's record carries an event
+// worth a line in the audit view.
+func explainWorthy(r loop.DecisionRecord) bool {
+	return r.Changed || !r.Observed || len(r.Explanations) > 0 ||
+		r.Faults.Total() > 0 || r.Actuation.Applied > 0 ||
+		r.Actuation.Refused > 0 || r.Actuation.Expired > 0 ||
+		r.Actuation.Superseded > 0
+}
+
+// explainEvent summarizes one record's decision and channel activity.
+func explainEvent(r loop.DecisionRecord) string {
+	var b strings.Builder
+	switch {
+	case !r.Observed:
+		fmt.Fprintf(&b, "telemetry withheld — holding %s", r.Actual)
+	case r.Changed && r.Submitted:
+		fmt.Fprintf(&b, "desire %s → %s", r.Actual, r.Target)
+	case r.Changed:
+		fmt.Fprintf(&b, "resize %s → %s", r.Actual, r.Target)
+	default:
+		fmt.Fprintf(&b, "keep %s", r.Actual)
+	}
+	if r.BalloonTargetMB > 0 {
+		fmt.Fprintf(&b, ", balloon %.0fMB", r.BalloonTargetMB)
+	}
+	if n := r.Faults.Total(); n > 0 {
+		fmt.Fprintf(&b, "  [%d fault event(s), %d snapshot(s) delivered]", n, r.Delivered)
+	}
+	var acts []string
+	if r.Actuation.Applied > 0 {
+		acts = append(acts, fmt.Sprintf("%d applied", r.Actuation.Applied))
+	}
+	if r.Actuation.Refused > 0 {
+		acts = append(acts, fmt.Sprintf("%d refused", r.Actuation.Refused))
+	}
+	if r.Actuation.Throttled > 0 {
+		acts = append(acts, fmt.Sprintf("%d throttled", r.Actuation.Throttled))
+	}
+	if r.Actuation.TransientFailures > 0 {
+		acts = append(acts, fmt.Sprintf("%d failed", r.Actuation.TransientFailures))
+	}
+	if r.Actuation.Superseded > 0 {
+		acts = append(acts, fmt.Sprintf("%d superseded", r.Actuation.Superseded))
+	}
+	if r.Actuation.Expired > 0 {
+		acts = append(acts, fmt.Sprintf("%d expired", r.Actuation.Expired))
+	}
+	if len(acts) > 0 {
+		fmt.Fprintf(&b, "  [actuation: %s]", strings.Join(acts, ", "))
+	}
+	return b.String()
 }

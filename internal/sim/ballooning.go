@@ -9,6 +9,7 @@ import (
 	"daasscale/internal/estimator"
 	"daasscale/internal/exec"
 	"daasscale/internal/faults"
+	"daasscale/internal/loop"
 	"daasscale/internal/resource"
 	"daasscale/internal/telemetry"
 	"daasscale/internal/workload"
@@ -38,6 +39,9 @@ type BallooningArm struct {
 	// Actuation reports the arm's memory-target actuation counters
 	// (all-zero on the synchronous path).
 	Actuation actuate.Stats
+	// Audit is the arm's per-interval decision-audit trail (only
+	// collected when the spec asked for it).
+	Audit []loop.DecisionRecord
 }
 
 // BaselineAvgMs returns the average latency before the shrink began.
@@ -113,6 +117,10 @@ type BallooningSpec struct {
 	// latest desired target is reconciled. Both arms share one stream
 	// seed, so they see identical actuation chaos.
 	Actuation actuate.Config
+	// Audit, when true, collects each arm's loop.DecisionRecords into
+	// BallooningArm.Audit. (The arms run concurrently, so there is no
+	// shared-Recorder field here; each arm gets its own collector.)
+	Audit bool
 }
 
 // RunBallooningExperiment reproduces Figure 14: a CPUIO workload with a
@@ -167,113 +175,62 @@ func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (B
 		if err != nil {
 			return arm, err
 		}
-		gen := workload.NewGenerator(spec.Seed+1000, 0.08)
-		tm := telemetry.NewManager(5)
-		var inj *faults.Injector
-		if spec.Faults.Enabled() {
-			inj = faults.NewInjector(spec.Faults, exec.SplitSeed(spec.Seed, faultStreamSalt))
+		var col *loop.Collector
+		var rec loop.Recorder
+		if spec.Audit {
+			col = &loop.Collector{}
+			rec = col
 		}
-		var act *actuate.Actuator[float64]
-		if spec.Actuation.Enabled() {
-			act = actuate.New(spec.Actuation, exec.SplitSeed(spec.Seed, actuationStreamSalt), 0.0)
-		}
-		// setMem routes a memory-target decision to the engine: directly on
-		// the synchronous path, as a desired-state write on the actuated one.
-		setMem := func(mb float64) {
-			if act == nil {
-				eng.SetMemoryTargetMB(mb)
-			} else {
-				act.Submit(mb)
-			}
-		}
-		balloon := estimator.NewBalloon(estimator.DefaultBalloonConfig())
-		badStreak := 0
-
+		lp := loop.New(loop.Config[float64]{
+			ID:     arm.Name,
+			Engine: eng,
+			Seed:   spec.Seed,
+			Jitter: 0.08,
+			Decider: &armDecider{
+				arm:         &arm,
+				tm:          telemetry.NewManager(5),
+				balloon:     estimator.NewBalloon(estimator.DefaultBalloonConfig()),
+				withBalloon: withBalloon,
+				shrinkAt:    spec.ShrinkAt,
+				nextMemMB:   nextMem,
+				nextIO:      next.Alloc[resource.DiskIO],
+			},
+			Applier:   loop.MemoryApplier{Engine: eng},
+			Faults:    spec.Faults,
+			Actuation: spec.Actuation,
+			Recorder:  rec,
+			Describe:  describeMemoryMB,
+			// The loop's Target already is the memory target; routing
+			// Decision.BalloonTargetMB to the engine as well would zero
+			// the just-applied target.
+			SetMemoryTarget: false,
+		})
 		for i := 0; i < spec.Intervals; i++ {
 			if err := checkCtx(ctx); err != nil {
 				return arm, fmt.Errorf("interval %d: %w", i, err)
 			}
-			for t := 0; t < eng.TicksPerInterval(); t++ {
-				eng.Tick(gen.Offered(spec.RPS))
-			}
-			snap := eng.EndInterval()
-			if inj == nil {
-				tm.Observe(snap)
-			} else {
-				// The series keeps the truthful snapshot; only the manager's
-				// view — what the control logic reads — is perturbed.
-				for _, fs := range inj.Apply(snap) {
-					tm.Observe(fs)
-				}
-			}
-			res := BallooningPoint{
-				Interval:        i,
-				MemoryUsedMB:    snap.MemoryUsedMB,
-				AvgMs:           snap.AvgLatencyMs,
-				P95Ms:           snap.P95LatencyMs,
-				PhysicalReads:   snap.PhysicalReads,
-				BalloonTargetMB: eng.MemoryTargetMB(),
-			}
-			arm.Series = append(arm.Series, res)
-
-			if !withBalloon {
-				// Naive arm: act on the incorrect low-memory estimate at
-				// ShrinkAt; revert once unmet disk I/O demand shows up in
-				// the telemetry (the paper: "Auto notices this increase in
-				// latency due to unmet disk I/O demand and reverts").
-				switch {
-				case i == spec.ShrinkAt:
-					setMem(nextMem)
-					arm.ShrunkAt = i
-				case arm.ShrunkAt >= 0 && arm.RevertedAt < 0:
-					sig, ok := tm.Signals()
-					if ok && sig.Current.WaitMs[telemetry.WaitMemory] > 20_000 {
-						badStreak++
-					}
-					if badStreak >= 2 { // reaction delay of the control loop
-						setMem(0)
-						arm.RevertedAt = i
-						arm.Aborted = true
-					}
-				}
-			} else if i >= spec.ShrinkAt && arm.RevertedAt < 0 {
-				// Ballooning arm: the probe starts at ShrinkAt and follows
-				// the protocol; the engine tracks the probe's target.
-				if sig, ok := tm.Signals(); ok {
-					bd := balloon.Step(sig, true, nextMem, next.Alloc[resource.DiskIO])
-					setMem(bd.TargetMB)
-					if arm.ShrunkAt < 0 && bd.TargetMB > 0 {
-						arm.ShrunkAt = i
-					}
-					if bd.Aborted {
-						arm.Aborted = true
-						arm.RevertedAt = i
-					}
-					if bd.MemoryDemandLow {
-						// Would be a genuine scale-down; does not happen
-						// with a 3GB working set.
-						arm.RevertedAt = i
-					}
-				}
-			}
-			if act != nil {
-				// Reconcile the latest desired memory target through the
-				// actuation channel.
-				if err := act.Step(i, func(mb float64) error {
-					eng.SetMemoryTargetMB(mb)
-					return nil
-				}); err != nil {
-					return arm, fmt.Errorf("interval %d: %w", i, err)
-				}
+			if err := lp.Step(i, spec.RPS); err != nil {
+				return arm, fmt.Errorf("interval %d: %w", i, err)
 			}
 		}
-		if act != nil {
-			arm.Actuation = act.Stats()
+		arm.Actuation = lp.Finalize(spec.Intervals).Actuation
+		if col != nil {
+			arm.Audit = col.Records
 		}
 		return arm, nil
 	}
 
-	arms, err := execMapPool(ctx, pool, 2, func(ctx context.Context, i int) (BallooningArm, error) {
+	arms, err := execMapPool(ctx, pool, 2, runArmTask(runArm))
+	if err != nil {
+		return res, err
+	}
+	res.Without, res.With = arms[0], arms[1]
+	return res, nil
+}
+
+// runArmTask adapts runArm to the pool fan-out, naming the failing arm.
+func runArmTask(runArm func(context.Context, bool) (BallooningArm, error)) func(context.Context, int) (BallooningArm, error) {
+	return func(ctx context.Context, i int) (BallooningArm, error) {
 		withBalloon := i == 1
 		arm, err := runArm(ctx, withBalloon)
 		if err != nil {
@@ -284,10 +241,97 @@ func runBallooning(ctx context.Context, spec BallooningSpec, pool *exec.Pool) (B
 			return arm, fmt.Errorf("sim: ballooning (%s): %w", name, err)
 		}
 		return arm, nil
-	})
-	if err != nil {
-		return res, err
 	}
-	res.Without, res.With = arms[0], arms[1]
-	return res, nil
 }
+
+// armDecider is the ballooning experiment's control logic behind the
+// Decider contract: delivered snapshots feed the telemetry manager (the
+// series keeps the truthful snapshot; only the manager's view — what the
+// control logic reads — is perturbed by faults), and Decide appends the
+// interval's Figure 14 point before running the arm's memory-target
+// logic. Unlike the policy loops there is no withheld-interval hold: the
+// arm logic runs every interval on whatever signals the manager has.
+type armDecider struct {
+	arm         *BallooningArm
+	tm          *telemetry.Manager
+	balloon     *estimator.Balloon
+	withBalloon bool
+	shrinkAt    int
+	// nextMemMB and nextIO are the next-smaller container's memory and
+	// disk bandwidth — the shrink target and the probe's abort threshold.
+	nextMemMB float64
+	nextIO    float64
+	badStreak int
+}
+
+// Observe implements loop.Decider.
+func (d *armDecider) Observe(s telemetry.Snapshot) { d.tm.Observe(s) }
+
+// Decide implements loop.Decider. actual is the engine's memory target
+// going into the interval (the point's BalloonTargetMB).
+func (d *armDecider) Decide(info loop.StepInfo, truth telemetry.Snapshot, actual float64) loop.Decision[float64] {
+	i := info.Interval
+	arm := d.arm
+	arm.Series = append(arm.Series, BallooningPoint{
+		Interval:        i,
+		MemoryUsedMB:    truth.MemoryUsedMB,
+		AvgMs:           truth.AvgLatencyMs,
+		P95Ms:           truth.P95LatencyMs,
+		PhysicalReads:   truth.PhysicalReads,
+		BalloonTargetMB: actual,
+	})
+	dec := loop.Decision[float64]{Target: actual}
+	// set routes a memory-target decision into the loop: applied directly
+	// on the synchronous path, a desired-state write on the actuated one.
+	// Re-setting an unchanged target is idempotent on both.
+	set := func(mb float64, why string) {
+		dec.Target = mb
+		dec.Changed, dec.Submit = true, true
+		dec.Explanations = append(dec.Explanations, why)
+	}
+	if !d.withBalloon {
+		// Naive arm: act on the incorrect low-memory estimate at
+		// ShrinkAt; revert once unmet disk I/O demand shows up in the
+		// telemetry (the paper: "Auto notices this increase in latency
+		// due to unmet disk I/O demand and reverts").
+		switch {
+		case i == d.shrinkAt:
+			set(d.nextMemMB, fmt.Sprintf("naive shrink: memory target %.0fMB on a low-demand estimate", d.nextMemMB))
+			arm.ShrunkAt = i
+		case arm.ShrunkAt >= 0 && arm.RevertedAt < 0:
+			sig, ok := d.tm.Signals()
+			if ok && sig.Current.WaitMs[telemetry.WaitMemory] > 20_000 {
+				d.badStreak++
+			}
+			if d.badStreak >= 2 { // reaction delay of the control loop
+				set(0, "revert: sustained unmet memory demand in telemetry")
+				arm.RevertedAt = i
+				arm.Aborted = true
+			}
+		}
+	} else if i >= d.shrinkAt && arm.RevertedAt < 0 {
+		// Ballooning arm: the probe starts at ShrinkAt and follows the
+		// protocol; the engine tracks the probe's target.
+		if sig, ok := d.tm.Signals(); ok {
+			bd := d.balloon.Step(sig, true, d.nextMemMB, d.nextIO)
+			set(bd.TargetMB, fmt.Sprintf("balloon probe: memory target %.0fMB", bd.TargetMB))
+			if arm.ShrunkAt < 0 && bd.TargetMB > 0 {
+				arm.ShrunkAt = i
+			}
+			if bd.Aborted {
+				arm.Aborted = true
+				arm.RevertedAt = i
+				dec.Explanations = append(dec.Explanations, "balloon probe aborted: I/O rose near the working set")
+			}
+			if bd.MemoryDemandLow {
+				// Would be a genuine scale-down; does not happen with a
+				// 3GB working set.
+				arm.RevertedAt = i
+			}
+		}
+	}
+	return dec
+}
+
+// describeMemoryMB renders a memory target for DecisionRecords.
+func describeMemoryMB(mb float64) string { return fmt.Sprintf("%.0fMB", mb) }

@@ -50,6 +50,10 @@ type ComparisonSpec struct {
 	// offline Max run that derives the latency goal stays synchronous, so
 	// actuated and clean comparisons share the same goal.
 	Actuation actuate.Config
+	// Audit, when true, collects each policy run's loop.DecisionRecords
+	// into its Result.Audit — the stream behind `daas-sim -explain`. The
+	// offline Max derivation is not audited.
+	Audit bool
 }
 
 // Comparison is the outcome of one experiment: the goal that was derived

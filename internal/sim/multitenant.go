@@ -11,9 +11,9 @@ import (
 	"daasscale/internal/exec"
 	"daasscale/internal/fabric"
 	"daasscale/internal/faults"
+	"daasscale/internal/loop"
+	"daasscale/internal/policy"
 	"daasscale/internal/resource"
-	"daasscale/internal/stats"
-	"daasscale/internal/telemetry"
 	"daasscale/internal/trace"
 	"daasscale/internal/workload"
 )
@@ -50,6 +50,9 @@ type TenantResult struct {
 	// Actuation reports the tenant's actuation-channel counters
 	// (all-zero on the synchronous path).
 	Actuation actuate.Stats
+	// Audit is the tenant's per-interval decision-audit trail (only
+	// collected when the spec asked for it).
+	Audit []loop.DecisionRecord
 }
 
 // MultiTenantResult is the outcome of a cluster run.
@@ -95,6 +98,13 @@ type MultiTenantSpec struct {
 	// resizes are superseded, and the per-tenant streams derive from the
 	// tenant seeds, so chaos runs stay bit-identical at any worker count.
 	Actuation actuate.Config
+	// Audit, when true, collects each tenant's loop.DecisionRecords into
+	// TenantResult.Audit.
+	Audit bool
+	// Recorder, when set, receives every tenant's audit stream. Records
+	// arrive from the serial decision phase — interval by interval, tenant
+	// order within an interval — so a shared Recorder needs no locking.
+	Recorder loop.Recorder
 }
 
 // RunMultiTenant executes the cluster simulation. Each tenant gets its own
@@ -112,51 +122,75 @@ func RunMultiTenant(spec MultiTenantSpec) (MultiTenantResult, error) {
 	return NewRunner().RunMultiTenant(context.Background(), spec)
 }
 
+// fabricApplier lands a tenant's resizes on the shared fabric: a refusal
+// surfaces as actuate.ErrRefused (the loop reconciles on the synchronous
+// path, the actuator retries with backoff on the actuated one), a
+// migration and a refusal are tallied on the tenant's result, and a
+// successful resize reaches the tenant's engine.
+type fabricApplier struct {
+	fab *fabric.Fabric
+	eng *engine.Engine
+	id  string
+	res *TenantResult
+}
+
+// Apply implements loop.Applier.
+func (a *fabricApplier) Apply(c resource.Container) error {
+	migrated, err := a.fab.Resize(a.id, c)
+	if errors.Is(err, fabric.ErrRefused) {
+		a.res.RefusedResizes++
+		return fmt.Errorf("%w: %v", actuate.ErrRefused, err)
+	}
+	if err != nil {
+		// A non-refusal fabric fault (e.g. an unplaced tenant) is a bug,
+		// not an outcome — surface it instead of miscounting it as a
+		// refusal.
+		return err
+	}
+	a.eng.SetContainer(c)
+	if migrated {
+		a.res.Migrations++
+	}
+	return nil
+}
+
+// Actual implements loop.Applier. The engine's container is the fabric's
+// record of the tenant: both change only together, on placement and on a
+// successful resize.
+func (a *fabricApplier) Actual() resource.Container { return a.eng.Container() }
+
+// scalerReconciler re-anchors the tenant's controller to the substrate
+// (the reconcile the synchronous path does on refusal and the actuated
+// path does every step).
+type scalerReconciler struct{ scaler *core.AutoScaler }
+
+// ForceActual implements loop.Reconciler.
+func (r scalerReconciler) ForceActual(c resource.Container) { r.scaler.ForceContainer(c) }
+
 // tenantState is one tenant's private simulation state. During the tick
 // phase workers touch only their own tenantState (index-addressed), which
 // is what makes the fan-out race-free and deterministic.
 type tenantState struct {
-	spec    TenantSpec
-	eng     *engine.Engine
-	scaler  *core.AutoScaler
-	gen     *workload.Generator
-	inj     *faults.Injector
-	act     *actuate.Actuator[resource.Container]
-	samples []float64
-	snap    telemetry.Snapshot
-	res     TenantResult
-}
-
-// observe routes the interval snapshot to the tenant's auto-scaler, through
-// the fault injector in chaos mode (same contract as observeThroughFaults:
-// a withheld interval yields a hold decision with observed false, and
-// Changed is re-derived against the engine's actual container after a
-// multi-snapshot burst).
-func (st *tenantState) observe() (d core.Decision, observed bool) {
-	if st.inj == nil {
-		return st.scaler.Observe(st.snap), true
-	}
-	d = core.Decision{Target: st.scaler.Container(), BalloonTargetMB: st.eng.MemoryTargetMB()}
-	for _, fs := range st.inj.Apply(st.snap) {
-		d = st.scaler.Observe(fs)
-		observed = true
-	}
-	d.Changed = d.Target.Name != st.eng.Container().Name
-	return d, observed
+	spec TenantSpec
+	eng  *engine.Engine
+	lp   *loop.TenantLoop[resource.Container]
+	res  TenantResult
+	col  *loop.Collector
 }
 
 // runMultiTenant is the context-aware, pool-parallel implementation behind
 // Runner.RunMultiTenant. The spec must already be validated and resolved.
 //
-// The interval loop is split into two phases. Phase 1 — the engine ticks
-// and interval snapshot, the overwhelming bulk of the cycles — is
-// embarrassingly parallel: tenants interact only through the fabric, and
-// the fabric is never read or written while ticking. Phase 2 — observe,
-// resize through the shared fabric, reconcile — runs serially in tenant
-// order, exactly as the historical serial loop ordered it. Because a
-// tenant's ticks depend only on its own engine state and its own previous
-// decision, the two-phase schedule produces bit-identical results to the
-// serial interleaving at any worker count.
+// The interval loop is split into two phases, matching TenantLoop's
+// RunTicks/DecideApply split. Phase 1 — the engine ticks and interval
+// snapshot, the overwhelming bulk of the cycles — is embarrassingly
+// parallel: tenants interact only through the fabric, and the fabric is
+// never read or written while ticking. Phase 2 — observe, resize through
+// the shared fabric, reconcile — runs serially in tenant order, exactly
+// as the historical serial loop ordered it. Because a tenant's ticks
+// depend only on its own engine state and its own previous decision, the
+// two-phase schedule produces bit-identical results to the serial
+// interleaving at any worker count.
 func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) (MultiTenantResult, error) {
 	cat := spec.Catalog
 	servers := spec.Servers
@@ -190,30 +224,31 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		if err != nil {
 			return nil, err
 		}
-		st := &tenantState{
-			spec:   ts,
-			eng:    eng,
-			scaler: scaler,
-			gen:    workload.NewGenerator(ts.Seed+1000, 0.1),
-			res:    TenantResult{ID: ts.ID},
-		}
-		if spec.Faults.Enabled() {
-			st.inj = faults.NewInjector(spec.Faults, exec.SplitSeed(ts.Seed, faultStreamSalt))
-		}
-		if spec.Actuation.Enabled() {
-			// Derived from the tenant seed like the fault stream, so the
-			// actuation chaos is independent across tenants yet identical
-			// at any worker count.
-			st.act = actuate.New(spec.Actuation, exec.SplitSeed(ts.Seed, actuationStreamSalt), scaler.Container())
-		}
-		eng.SetLatencySink(func(ms float64) { st.samples = append(st.samples, ms) })
+		st := &tenantState{spec: ts, eng: eng, res: TenantResult{ID: ts.ID}}
+		rec, col := specRecorder(spec.Audit, spec.Recorder)
+		st.col = col
+		st.lp = loop.New(loop.Config[resource.Container]{
+			ID:               ts.ID,
+			Engine:           eng,
+			Seed:             ts.Seed,
+			Jitter:           0.1,
+			Decider:          loop.NewPolicyDecider(policy.NewAuto(scaler), eng),
+			Applier:          &fabricApplier{fab: fab, eng: eng, id: ts.ID, res: &st.res},
+			Reconciler:       scalerReconciler{scaler},
+			Faults:           spec.Faults,
+			Actuation:        spec.Actuation,
+			Recorder:         rec,
+			Describe:         loop.DescribeContainer,
+			SetMemoryTarget:  true,
+			CollectLatencies: true,
+		})
 		return st, nil
 	})
 	if err != nil {
 		return MultiTenantResult{}, err
 	}
 	for _, st := range states {
-		if err := fab.Place(st.spec.ID, st.scaler.Container()); err != nil {
+		if err := fab.Place(st.spec.ID, st.eng.Container()); err != nil {
 			return MultiTenantResult{}, fmt.Errorf("sim: placing tenant %q: %w", st.spec.ID, err)
 		}
 	}
@@ -230,10 +265,7 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 			if m >= st.spec.Trace.Len() {
 				target = 0 // this tenant's trace ended; it idles
 			}
-			for t := 0; t < st.eng.TicksPerInterval(); t++ {
-				st.eng.Tick(st.gen.Offered(target))
-			}
-			st.snap = st.eng.EndInterval()
+			st.lp.RunTicks(target)
 			return nil
 		})
 		if err != nil {
@@ -242,70 +274,9 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		// Phase 2: decisions through the shared fabric, serial in tenant
 		// order (the fabric's placement state makes the order load-bearing).
 		for _, st := range states {
-			st.res.TotalCost += st.snap.Cost
-			d, observed := st.observe()
-			if st.act == nil {
-				// Synchronous path: the fabric executes (or refuses) the
-				// resize within the decision interval.
-				if d.Changed {
-					migrated, err := fab.Resize(st.spec.ID, d.Target)
-					switch {
-					case errors.Is(err, fabric.ErrRefused):
-						// Refused: the tenant keeps its container; reconcile
-						// the controller with the fabric's reality.
-						cur, _ := fab.Container(st.spec.ID)
-						st.scaler.ForceContainer(cur)
-						st.res.RefusedResizes++
-					case err != nil:
-						// A non-refusal fabric fault (e.g. an unplaced
-						// tenant) is a bug, not an outcome — surface it
-						// instead of miscounting it as a refusal.
-						return MultiTenantResult{}, fmt.Errorf("sim: interval %d: resizing tenant %q: %w", m, st.spec.ID, err)
-					default:
-						st.eng.SetContainer(d.Target)
-						st.res.Changes++
-						if migrated {
-							st.res.Migrations++
-						}
-					}
-				}
-			} else {
-				// Actuated path: the decision is a desired-state write; the
-				// actuator reconciles it through the fabric. Refusals and
-				// migrations become observable outcomes: a refused attempt
-				// retries with backoff (another tenant's shrink can free
-				// room), a stale in-flight resize is superseded.
-				if observed {
-					st.act.Submit(d.Target)
-				}
-				err := st.act.Step(m, func(c resource.Container) error {
-					migrated, err := fab.Resize(st.spec.ID, c)
-					if errors.Is(err, fabric.ErrRefused) {
-						st.res.RefusedResizes++
-						return fmt.Errorf("%w: %v", actuate.ErrRefused, err)
-					}
-					if err != nil {
-						return err
-					}
-					st.eng.SetContainer(c)
-					st.res.Changes++
-					if migrated {
-						st.res.Migrations++
-					}
-					return nil
-				})
-				if err != nil {
-					return MultiTenantResult{}, fmt.Errorf("sim: interval %d: resizing tenant %q: %w", m, st.spec.ID, err)
-				}
-				// Re-anchor the controller to the fabric's reality (the same
-				// reconcile the synchronous path does on refusal): its next
-				// decision starts from the actual container, so requests stay
-				// incremental — a refused grow is re-derived from observations
-				// instead of compounding into a target the cluster can never
-				// place.
-				st.scaler.ForceContainer(st.act.Actual())
+			if err := st.lp.DecideApply(m); err != nil {
+				return MultiTenantResult{}, fmt.Errorf("sim: interval %d: resizing tenant %q: %w", m, st.spec.ID, err)
 			}
-			st.eng.SetMemoryTargetMB(d.BalloonTargetMB)
 		}
 		for _, u := range fab.Utilization() {
 			if u > out.PeakClusterCPUFrac {
@@ -317,15 +288,14 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		}
 	}
 	for _, st := range states {
-		if intervals > 0 {
-			st.res.AvgCostPerInterval = st.res.TotalCost / float64(intervals)
-		}
-		if len(st.samples) > 0 {
-			// The per-tenant sample buffer is dead after this aggregate.
-			st.res.P95Ms = stats.QuantileSelect(st.samples, 0.95)
-		}
-		if st.act != nil {
-			st.res.Actuation = st.act.Stats()
+		tot := st.lp.Finalize(intervals)
+		st.res.TotalCost = tot.TotalCost
+		st.res.AvgCostPerInterval = tot.AvgCostPerInterval
+		st.res.P95Ms = tot.P95Ms
+		st.res.Changes = tot.Changes
+		st.res.Actuation = tot.Actuation
+		if st.col != nil {
+			st.res.Audit = st.col.Records
 		}
 		out.Tenants = append(out.Tenants, st.res)
 	}

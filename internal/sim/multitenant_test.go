@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"daasscale/internal/engine"
@@ -101,7 +102,7 @@ func TestMultiTenantDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.Tenants {
-		if a.Tenants[i] != b.Tenants[i] {
+		if !reflect.DeepEqual(a.Tenants[i], b.Tenants[i]) {
 			t.Fatalf("tenant %d diverged: %+v vs %+v", i, a.Tenants[i], b.Tenants[i])
 		}
 	}

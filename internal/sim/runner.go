@@ -296,6 +296,7 @@ func (r *Runner) RunComparison(ctx context.Context, cs ComparisonSpec) (Comparis
 			GoalMs:     goal,
 			Faults:     cs.Faults,
 			Actuation:  cs.Actuation,
+			Audit:      cs.Audit,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: policy %s: %w", policies[i].Name(), err)

@@ -13,11 +13,10 @@ import (
 
 	"daasscale/internal/actuate"
 	"daasscale/internal/engine"
-	"daasscale/internal/exec"
 	"daasscale/internal/faults"
+	"daasscale/internal/loop"
 	"daasscale/internal/policy"
 	"daasscale/internal/resource"
-	"daasscale/internal/stats"
 	"daasscale/internal/telemetry"
 	"daasscale/internal/trace"
 	"daasscale/internal/workload"
@@ -62,6 +61,13 @@ type Spec struct {
 	// actuate. Like Faults, the chaos is seed-deterministic: parallel runs
 	// stay bit-identical to serial ones.
 	Actuation actuate.Config
+	// Audit, when true, collects one loop.DecisionRecord per interval into
+	// Result.Audit — the full decision-audit trail behind `-explain`.
+	Audit bool
+	// Recorder, when set, receives the audit stream directly (instead of,
+	// or in addition to, the Audit collection). Records arrive in interval
+	// order from the simulation goroutine.
+	Recorder loop.Recorder
 }
 
 // IntervalPoint is one billing interval of the drill-down series.
@@ -92,6 +98,10 @@ type IntervalPoint struct {
 	PhysicalReads float64
 	// BalloonTargetMB is the active memory target (0 = none).
 	BalloonTargetMB float64
+	// Explanations narrates the interval's decision — the estimator's
+	// rule-firing explanations (§4), empty for silent policies and for
+	// intervals the fault injector withheld.
+	Explanations []string
 }
 
 // Result aggregates one run.
@@ -120,6 +130,10 @@ type Result struct {
 	ActuationStats actuate.Stats
 
 	Series []IntervalPoint
+
+	// Audit is the per-interval decision-audit trail (only collected when
+	// the spec asked for it).
+	Audit []loop.DecisionRecord
 }
 
 // MeetsGoal reports whether the run-level p95 met the given goal.
@@ -143,8 +157,28 @@ func runSpecValidated(ctx context.Context, spec Spec) (Result, error) {
 	return runSpec(ctx, spec)
 }
 
-// runSpec is the single-run simulation loop behind Runner.Run and every
-// composite runner. The spec must already be validated; the context is
+// specRecorder builds the audit recorder a spec asked for: the spec's own
+// Recorder, a fresh Collector for Audit, or both (a fan-out).
+func specRecorder(audit bool, rec loop.Recorder) (loop.Recorder, *loop.Collector) {
+	if !audit {
+		return rec, nil
+	}
+	col := &loop.Collector{}
+	if rec == nil {
+		return col, col
+	}
+	return recorderPair{rec, col}, col
+}
+
+// recorderPair fans one audit stream out to two recorders.
+type recorderPair struct{ a, b loop.Recorder }
+
+func (p recorderPair) Record(r loop.DecisionRecord) { p.a.Record(r); p.b.Record(r) }
+
+// runSpec is the single-run simulation behind Runner.Run and every
+// composite runner: one loop.TenantLoop driven by the trace, with the
+// policy adapted through loop.PolicyDecider and resizes landing directly
+// on the engine. The spec must already be validated; the context is
 // probed once per billing interval.
 func runSpec(ctx context.Context, spec Spec) (Result, error) {
 	if spec.Jitter == 0 {
@@ -154,22 +188,21 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var samples []float64
-	eng.SetLatencySink(func(ms float64) { samples = append(samples, ms) })
-	gen := workload.NewGenerator(spec.Seed+1000, spec.Jitter)
-	var inj *faults.Injector
-	if spec.Faults.Enabled() {
-		// The stream seed depends only on the run seed, so every policy of
-		// a comparison sees the same fault timing and parallel runs are
-		// bit-identical to serial ones.
-		inj = faults.NewInjector(spec.Faults, exec.SplitSeed(spec.Seed, faultStreamSalt))
-	}
-	var act *actuate.Actuator[resource.Container]
-	if spec.Actuation.Enabled() {
-		// Same determinism anchor as the fault injector: the actuation
-		// stream is derived from the run seed alone, never from scheduling.
-		act = actuate.New(spec.Actuation, exec.SplitSeed(spec.Seed, actuationStreamSalt), spec.Policy.Container())
-	}
+	rec, col := specRecorder(spec.Audit, spec.Recorder)
+	lp := loop.New(loop.Config[resource.Container]{
+		ID:               spec.Policy.Name(),
+		Engine:           eng,
+		Seed:             spec.Seed,
+		Jitter:           spec.Jitter,
+		Decider:          loop.NewPolicyDecider(spec.Policy, eng),
+		Applier:          loop.EngineApplier{Engine: eng},
+		Faults:           spec.Faults,
+		Actuation:        spec.Actuation,
+		Recorder:         rec,
+		Describe:         loop.DescribeContainer,
+		SetMemoryTarget:  true,
+		CollectLatencies: true,
+	})
 
 	res := Result{
 		Policy:   spec.Policy.Name(),
@@ -177,44 +210,18 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		Trace:    spec.Trace.Name,
 		GoalMs:   spec.GoalMs,
 	}
-	ticks := eng.TicksPerInterval()
 	for m := 0; m < spec.Trace.Len(); m++ {
 		if err := checkCtx(ctx); err != nil {
 			return Result{}, fmt.Errorf("sim: %s×%s interval %d: %w", res.Workload, res.Trace, m, err)
 		}
-		target := spec.Trace.At(m)
-		for t := 0; t < ticks; t++ {
-			eng.Tick(gen.Offered(target))
-		}
-		snap := eng.EndInterval()
-		res.TotalCost += snap.Cost
+		lp.RunTicks(spec.Trace.At(m))
+		// The container the interval ran in, captured before the decision
+		// is applied (Figure 13's "Container Max CPU").
 		cpuFrac := eng.Container().Alloc[resource.CPU] / ServerCPUms
-
-		dec, observed := observeThroughFaults(spec.Policy, inj, eng, snap)
-		if act == nil {
-			// Synchronous path: the decision applies instantly and
-			// infallibly, the historical (pre-actuation) behavior.
-			if dec.Changed {
-				res.Changes++
-				eng.SetContainer(dec.Target)
-			}
-		} else {
-			// Asynchronous path: the decision is a desired-state write; the
-			// actuator reconciles it onto the engine through the failable
-			// channel. Submit is idempotent, so re-issuing an unchanged
-			// target every interval is free; a withheld interval submits
-			// nothing, leaving in-flight operations alone.
-			if observed {
-				act.Submit(dec.Target)
-			}
-			if err := act.Step(m, func(c resource.Container) error {
-				eng.SetContainer(c)
-				return nil
-			}); err != nil {
-				return Result{}, fmt.Errorf("sim: %s×%s interval %d: %w", res.Workload, res.Trace, m, err)
-			}
+		if err := lp.DecideApply(m); err != nil {
+			return Result{}, fmt.Errorf("sim: %s×%s interval %d: %w", res.Workload, res.Trace, m, err)
 		}
-		eng.SetMemoryTargetMB(dec.BalloonTargetMB)
+		snap, dec := lp.Snapshot(), lp.LastDecision()
 
 		pt := IntervalPoint{
 			Interval:         snap.Interval,
@@ -231,6 +238,7 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 			MemoryUsedMB:     snap.MemoryUsedMB,
 			PhysicalReads:    snap.PhysicalReads,
 			BalloonTargetMB:  dec.BalloonTargetMB,
+			Explanations:     dec.Explanations,
 		}
 		if spec.GoalMs > 0 {
 			pt.PerformanceFactor = (spec.GoalMs - snap.P95LatencyMs) / spec.GoalMs * 100
@@ -242,62 +250,18 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		}
 		res.Series = append(res.Series, pt)
 	}
-	res.Intervals = spec.Trace.Len()
-	if res.Intervals > 0 {
-		res.AvgCostPerInterval = res.TotalCost / float64(res.Intervals)
-		res.ChangeFraction = float64(res.Changes) / float64(res.Intervals)
-	}
-	if len(samples) > 0 {
-		// samples is private to this run and dead after these aggregates, so
-		// the percentile selects in place (order is irrelevant to Mean).
-		res.P95Ms = stats.QuantileSelect(samples, 0.95)
-		res.AvgMs = stats.Mean(samples)
-	}
-	if inj != nil {
-		res.FaultStats = inj.Stats()
-	}
-	if act != nil {
-		// On the actuated path, Changes counts resizes that actually
-		// reached the engine, not decisions that merely wished for one.
-		res.ActuationStats = act.Stats()
-		res.Changes = res.ActuationStats.Applied
-		if res.Intervals > 0 {
-			res.ChangeFraction = float64(res.Changes) / float64(res.Intervals)
-		}
+	tot := lp.Finalize(spec.Trace.Len())
+	res.Intervals = tot.Intervals
+	res.TotalCost = tot.TotalCost
+	res.AvgCostPerInterval = tot.AvgCostPerInterval
+	res.P95Ms = tot.P95Ms
+	res.AvgMs = tot.AvgMs
+	res.Changes = tot.Changes
+	res.ChangeFraction = tot.ChangeFraction
+	res.FaultStats = tot.Faults
+	res.ActuationStats = tot.Actuation
+	if col != nil {
+		res.Audit = col.Records
 	}
 	return res, nil
-}
-
-// faultStreamSalt decorrelates the fault injector's stream from the other
-// consumers of the run seed (the engine and the load generator).
-const faultStreamSalt = 0x6661756C74 // "fault"
-
-// actuationStreamSalt decorrelates the actuation channel's stream from the
-// fault injector's and the engine's.
-const actuationStreamSalt = 0x616374 // "act"
-
-// observeThroughFaults routes one interval's snapshot to the policy, via
-// the fault injector when chaos mode is on. When the injector withholds
-// the interval entirely (drop or reorder hold-back), the policy makes no
-// decision: the current container and memory target are kept — the
-// graceful-degradation contract of a lost telemetry payload — and
-// observed is false, so the actuated path knows not to treat the
-// fallback as a fresh desired-state write (a lost interval must not
-// supersede an in-flight resize). When the injector delivers several
-// snapshots (a duplicate, or a held reordered one released), the policy
-// observes each in turn and the last decision wins; Changed is then
-// re-derived against the engine's actual container, because a mid-burst
-// decision may have moved the policy's internal container while the
-// final decision reports no further change.
-func observeThroughFaults(p policy.Policy, inj *faults.Injector, eng *engine.Engine, snap telemetry.Snapshot) (dec policy.Decision, observed bool) {
-	if inj == nil {
-		return p.Observe(snap), true
-	}
-	dec = policy.Decision{Target: eng.Container(), BalloonTargetMB: eng.MemoryTargetMB()}
-	for _, fs := range inj.Apply(snap) {
-		dec = p.Observe(fs)
-		observed = true
-	}
-	dec.Changed = dec.Target.Name != eng.Container().Name
-	return dec, observed
 }
