@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all
+.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all bench-fleet deprecation-gate
 
 all: verify
 
@@ -45,7 +45,20 @@ explain:
 	$(GO) run ./cmd/daas-sim -workload ds2 -trace trace3 -faults 0.1 \
 		-actuation-latency 1 -actuation-fail 0.1 -explain -explain-rows 24
 
-verify: build test vet race alloc-gate chaos
+# The deprecation gate: non-test code must not call the slice-materializing
+# fleet entry points (they remain only as exact oracles for tests). The
+# grep excludes internal/fleet itself, where the deprecated functions are
+# defined and wrapped.
+deprecation-gate:
+	@if grep -rn --include='*.go' --exclude='*_test.go' \
+		-E 'fleet\.(GenerateFleet(Context)?|Analyze(Context)?|ArchetypeBreakdown|CollectWaitSamples|SplitByUtilization|Correlation|Calibrate)\(' \
+		cmd examples internal --exclude-dir=fleet; then \
+		echo "deprecation-gate: non-test code calls a deprecated fleet entry point (use fleet.Stream / fleet.StreamCalibration)"; \
+		exit 1; \
+	fi
+	@echo "deprecation-gate: clean"
+
+verify: build test vet race alloc-gate chaos deprecation-gate
 
 # The telemetry hot-path benchmarks; headline numbers land in
 # BENCH_telemetry.json.
@@ -53,6 +66,13 @@ bench:
 	BENCH_JSON=BENCH_telemetry.json $(GO) test -run '^$$' \
 		-bench 'BenchmarkSignalsWindow10|BenchmarkTheilSen|BenchmarkTelemetry1kTenants' \
 		-benchmem .
+
+# The fleet-scale streaming benchmarks (1k/10k/100k tenants); tenants/sec
+# and peak heap land in BENCH_fleet.json.
+bench-fleet:
+	BENCH_JSON=BENCH_fleet.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkFleetStream|BenchmarkFleetCalibrationStream' \
+		-benchtime 1x -benchmem .
 
 # Every benchmark, including the full paper-figure reproductions.
 bench-all:

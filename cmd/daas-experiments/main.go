@@ -128,31 +128,36 @@ func main() {
 
 	// ---- Figure 2 -------------------------------------------------------
 	section("Figure 2: resource demand analysis in production (synthetic fleet)")
-	f, err := fleet.GenerateFleetContext(ctx, tenants, days, *seed, execOpts)
+	fleetSpec, err := fleet.NewFleetSpec(tenants, days, *seed,
+		fleet.WithParallelism(*workers), fleet.WithCatalog(cat))
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := fleet.AnalyzeContext(ctx, f, cat, execOpts)
+	fleetRes, err := fleet.Stream(ctx, fleetSpec, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report.FleetSummary(out, analysis)
+	report.FleetSummary(out, fleetRes.Analysis)
 
 	// ---- Figures 4 & 6 ----------------------------------------------------
 	section("Figures 4 & 6: wait statistics vs utilization")
-	samples, err := fleet.CollectWaitSamples(configs, 4, *seed)
+	calSpec, err := fleet.NewCalibrationSpec(configs, 4, *seed, fleet.WithParallelism(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO} {
-		rho, err := fleet.Correlation(samples, k)
+	cal, err := fleet.StreamCalibration(ctx, calSpec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range cal.Digests {
+		rho, err := d.Correlation()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(out, "\n%s wait–utilization Spearman ρ = %.2f (Figure 4: increasing but weak)\n", k, rho)
-		report.WaitDistributionTable(out, fleet.SplitByUtilization(samples, k))
+		fmt.Fprintf(out, "\n%s wait–utilization Spearman ρ = %.2f (Figure 4: increasing but weak)\n", d.Kind(), rho)
+		report.WaitDigestTable(out, d)
 	}
-	th := fleet.Calibrate(samples)
+	th := cal.Thresholds
 	fmt.Fprintln(out, "\ncalibrated thresholds (Section 4.1):")
 	for _, k := range resource.Kinds {
 		fmt.Fprintf(out, "  %-7s waits LOW < %8.0f, HIGH ≥ %8.0f ms/interval\n", k, th.WaitLowMs[k], th.WaitHighMs[k])
@@ -251,8 +256,8 @@ func main() {
 
 	// ---- Section 4 step sizes ----------------------------------------------
 	section("Section 4: resize step sizes across the fleet")
-	fmt.Fprintf(out, "1-step resizes:  %.1f%%  (paper: ≈90%%)\n", analysis.OneStepShare*100)
-	fmt.Fprintf(out, "≤2-step resizes: %.1f%%  (paper: ≈98%%)\n", analysis.AtMostTwoStepsShare*100)
+	fmt.Fprintf(out, "1-step resizes:  %.1f%%  (paper: ≈90%%)\n", fleetRes.Analysis.OneStepShare*100)
+	fmt.Fprintf(out, "≤2-step resizes: %.1f%%  (paper: ≈98%%)\n", fleetRes.Analysis.AtMostTwoStepsShare*100)
 }
 
 // writeSeriesCSV dumps one run's per-interval series for external plotting.

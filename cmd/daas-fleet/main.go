@@ -4,9 +4,15 @@
 // relationship of Figure 4, the wait-distribution separation of Figure 6,
 // and the threshold calibration of Section 4.1.
 //
+// Both studies run on the streaming pipeline: tenants are generated,
+// analyzed and discarded shard by shard, so -tenants scales to hundreds of
+// thousands with memory bounded by -shard-size, and -checkpoint lets a long
+// run be killed and resumed bit-identically.
+//
 // Usage:
 //
-//	daas-fleet [-tenants N] [-days D] [-configs C] [-seed S] [-workers W] [-progress]
+//	daas-fleet [-tenants N] [-days D] [-configs C] [-seed S] [-workers W]
+//	           [-shard-size K] [-checkpoint FILE] [-progress]
 package main
 
 import (
@@ -28,59 +34,75 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("daas-fleet: ")
-	tenants := flag.Int("tenants", 2000, "number of synthetic tenants")
+	tenants := flag.Int("tenants", 2000, "number of synthetic tenants (streamed; scales to 100k+)")
 	days := flag.Int("days", 7, "days of 5-minute telemetry per tenant")
 	configs := flag.Int("configs", 300, "engine configurations for wait sampling")
 	seed := flag.Int64("seed", 42, "seed")
-	workers := flag.Int("workers", 0, "worker-pool width for per-tenant work (0 = all cores); never changes results")
-	progress := flag.Bool("progress", false, "print live throughput metrics to stderr while tenants process")
+	workers := flag.Int("workers", 0, "worker-pool width for per-shard work (0 = all cores); never changes results")
+	shardSize := flag.Int("shard-size", fleet.DefaultShardSize, "tenants per shard; bounds peak memory")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for the fleet study; a matching checkpoint resumes the run")
+	progress := flag.Bool("progress", false, "print live throughput metrics to stderr while shards process")
 	saveThresholds := flag.String("save-thresholds", "", "write the calibrated thresholds to this JSON file")
 	compareThresholds := flag.String("compare-thresholds", "", "load active thresholds from this JSON file and print a drift report")
 	flag.Parse()
 
-	// Ctrl-C cancels the fleet fan-out instead of killing mid-write.
+	// Ctrl-C cancels the fleet fan-out instead of killing mid-write; with
+	// -checkpoint, the next invocation resumes where this one stopped.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := exec.Options{Workers: *workers}
+	var opts []fleet.FleetOption
+	opts = append(opts, fleet.WithParallelism(*workers), fleet.WithShardSize(*shardSize))
 	if *progress {
-		opts.OnProgress = progressPrinter()
+		opts = append(opts, fleet.WithProgress(progressPrinter("shards")))
 	}
-
-	cat := resource.LockStepCatalog()
+	fleetOpts := opts
+	if *checkpoint != "" {
+		fleetOpts = append(fleetOpts, fleet.WithCheckpoint(*checkpoint))
+	}
 
 	fmt.Println("=== Figure 2: container-size change events across the fleet ===")
-	f, err := fleet.GenerateFleetContext(ctx, *tenants, *days, *seed, opts)
+	// The change study uses the lock-step catalog, as the original
+	// slice-based pipeline did.
+	fleetOpts = append(fleetOpts, fleet.WithCatalog(resource.LockStepCatalog()))
+	spec, err := fleet.NewFleetSpec(*tenants, *days, *seed, fleetOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := fleet.AnalyzeContext(ctx, f, cat, opts)
+	res, err := fleet.Stream(ctx, spec, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report.FleetSummary(os.Stdout, a)
-	report.CDFTable(os.Stdout, "IEI CDF (minutes):", a.IEICDF, []float64{5, 15, 30, 60, 120, 360, 720, 1440})
+	if res.ResumedShards > 0 {
+		fmt.Printf("(resumed from checkpoint: %d of %d shards skipped)\n", res.ResumedShards, res.Shards)
+	}
+	report.FleetSummary(os.Stdout, res.Analysis)
+	report.CDFTable(os.Stdout, "IEI CDF (minutes):", res.Analysis.IEICDF, []float64{5, 15, 30, 60, 120, 360, 720, 1440})
 
 	fmt.Println("\n=== Figures 4 and 6: wait statistics vs utilization ===")
-	samples, err := fleet.CollectWaitSamples(*configs, 4, *seed)
+	calSpec, err := fleet.NewCalibrationSpec(*configs, 4, *seed, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO} {
-		rho, err := fleet.Correlation(samples, k)
+	cal, err := fleet.StreamCalibration(ctx, calSpec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range cal.Digests {
+		rho, err := d.Correlation()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n%s wait–utilization Spearman ρ = %.2f (increasing but weak, Figure 4)\n", k, rho)
-		report.WaitDistributionTable(os.Stdout, fleet.SplitByUtilization(samples, k))
+		fmt.Printf("\n%s wait–utilization Spearman ρ = %.2f (increasing but weak, Figure 4)\n", d.Kind(), rho)
+		report.WaitDigestTable(os.Stdout, d)
 	}
 
 	fmt.Println("\n=== Section 4.1: calibrated thresholds ===")
-	th := fleet.Calibrate(samples)
+	th := cal.Thresholds
 	fmt.Printf("utilization LOW < %.0f%%, HIGH ≥ %.0f%%\n", th.UtilLow*100, th.UtilHigh*100)
-	for _, k := range resource.Kinds {
+	for _, d := range cal.Digests {
 		fmt.Printf("%-7s waits: LOW < %8.0f ms/interval, HIGH ≥ %8.0f ms/interval\n",
-			k, th.WaitLowMs[k], th.WaitHighMs[k])
+			d.Kind(), th.WaitLowMs[d.Kind()], th.WaitHighMs[d.Kind()])
 	}
 
 	if *saveThresholds != "" {
@@ -115,10 +137,10 @@ func main() {
 // progressPrinter renders executor metrics on stderr. The hook may fire
 // concurrently from several workers; a single \r-terminated line per call
 // keeps the output readable without locking.
-func progressPrinter() func(exec.Progress) {
+func progressPrinter(unit string) func(exec.Progress) {
 	return func(p exec.Progress) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d tenants  %.0f/s  p50 %s  p95 %s  util %.0f%%   ",
-			p.Done, p.Total, p.TasksPerSec,
+		fmt.Fprintf(os.Stderr, "\r%d/%d %s  %.1f/s  p50 %s  p95 %s  util %.0f%%   ",
+			p.Done, p.Total, unit, p.TasksPerSec,
 			p.P50.Round(10*time.Microsecond), p.P95.Round(10*time.Microsecond),
 			p.WorkerUtilization*100)
 	}

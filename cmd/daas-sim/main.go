@@ -140,11 +140,15 @@ func main() {
 		cs.AutoBudget = bud
 	}
 	if *calibrate {
-		samples, err := fleet.CollectWaitSamples(200, 4, *seed)
+		calSpec, err := fleet.NewCalibrationSpec(200, 4, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cs.Thresholds = fleet.Calibrate(samples)
+		cal, err := fleet.StreamCalibration(context.Background(), calSpec, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs.Thresholds = cal.Thresholds
 		fmt.Fprintln(os.Stderr, "note: Auto uses fleet-calibrated thresholds")
 	}
 

@@ -45,18 +45,20 @@ func main() {
 			p.Done, p.Total, p.TasksPerSec, p.P95.Round(time.Millisecond),
 			p.Workers, p.WorkerUtilization*100)
 	}
-	opts := exec.Options{Workers: *workers, OnProgress: progress}
-
-	// --- fleet-wide telemetry study, fanned across the pool ---------------
+	// --- fleet-wide telemetry study, streamed shard by shard ---------------
 	start := time.Now()
-	f, err := fleet.GenerateFleetContext(ctx, *tenants, 7, 42, opts)
+	spec, err := fleet.NewFleetSpec(*tenants, 7, 42,
+		fleet.WithParallelism(*workers),
+		fleet.WithProgress(progress),
+		fleet.WithCatalog(resource.LockStepCatalog()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := fleet.AnalyzeContext(ctx, f, resource.LockStepCatalog(), opts)
+	fleetRes, err := fleet.Stream(ctx, spec, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	analysis := fleetRes.Analysis
 	fmt.Fprintln(os.Stderr)
 	fmt.Printf("fleet of %d tenants generated and analyzed in %s\n", *tenants, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  %d container-size changes; %.0f%% within 60 min of the previous one\n",

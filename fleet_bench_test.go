@@ -1,0 +1,91 @@
+package daasscale_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"daasscale/internal/fleet"
+)
+
+// BenchmarkFleetStream measures the streaming fleet pipeline at three fleet
+// sizes. Each sub-benchmark reports tenants/sec plus the peak heap observed
+// across the run (sampled at every shard boundary), demonstrating the
+// memory contract: peak heap tracks the shard size, not the fleet size —
+// the 100k run must not cost 100× the 1k run's memory. Headline numbers
+// land in BENCH_fleet.json via `make bench-fleet`.
+func BenchmarkFleetStream(b *testing.B) {
+	for _, size := range []int{1_000, 10_000, 100_000} {
+		size := size
+		b.Run(fmt.Sprintf("tenants=%d", size), func(b *testing.B) {
+			spec, err := fleet.NewFleetSpec(size, 1, benchSeed, fleet.WithShardSize(1024))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var peakHeap uint64
+			var ms runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			baseline := ms.HeapAlloc
+			mallocsBefore := ms.Mallocs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Stream(context.Background(), spec, func(sr fleet.ShardResult) error {
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peakHeap {
+						peakHeap = ms.HeapAlloc
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Tenants != size {
+					b.Fatalf("processed %d tenants, want %d", res.Tenants, size)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms)
+			elapsed := b.Elapsed().Seconds()
+			tenantsPerSec := float64(size*b.N) / elapsed
+			peakHeapMB := float64(peakHeap) / (1 << 20)
+			allocsPerTenant := float64(ms.Mallocs-mallocsBefore) / float64(size*b.N)
+			b.ReportMetric(tenantsPerSec, "tenants/s")
+			b.ReportMetric(peakHeapMB, "peak-heap-MB")
+			b.ReportMetric(allocsPerTenant, "allocs/tenant")
+			recordBench(fmt.Sprintf("FleetStream%dk", size/1000), map[string]float64{
+				"tenants":           float64(size),
+				"days":              1,
+				"shard_size":        1024,
+				"tenants_per_sec":   tenantsPerSec,
+				"peak_heap_mb":      peakHeapMB,
+				"baseline_heap_mb":  float64(baseline) / (1 << 20),
+				"allocs_per_tenant": allocsPerTenant,
+			})
+		})
+	}
+}
+
+// BenchmarkFleetCalibrationStream measures the sharded wait-sampling
+// pipeline that feeds threshold calibration.
+func BenchmarkFleetCalibrationStream(b *testing.B) {
+	spec, err := fleet.NewCalibrationSpec(60, 4, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.StreamCalibration(context.Background(), spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	configsPerSec := float64(spec.Configs*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(configsPerSec, "configs/s")
+	recordBench("FleetCalibrationStream", map[string]float64{
+		"configs":         float64(spec.Configs),
+		"intervals_per":   float64(spec.IntervalsPer),
+		"configs_per_sec": configsPerSec,
+	})
+}

@@ -1,0 +1,165 @@
+package exec
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StreamOrdered runs task(ctx, i) for every i in [0, n) across a worker
+// pool and delivers each result to emit in strictly increasing index order,
+// overlapping computation with emission. Unlike Map it never materializes
+// more than `window` results: a task may run ahead of the emitter by at
+// most window indices, so memory stays bounded by the window, not by n —
+// the primitive behind the fleet pipeline's "generate → analyze → discard"
+// contract.
+//
+// emit runs on the calling goroutine, serially and in order, so a caller
+// can fold results into accumulator state without locking; returning an
+// error from emit cancels the remaining work. Determinism follows the
+// package rule: tasks write only their own result, emission order is fixed,
+// so any worker count produces the identical emit sequence.
+//
+// window ≤ 0 selects 2× the resolved worker count. The first task or emit
+// error cancels the stream and is returned; a canceled parent context
+// returns the context error.
+func StreamOrdered[T any](ctx context.Context, n int, opts Options, window int,
+	task func(ctx context.Context, i int) (T, error),
+	emit func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	return streamOrdered(ctx, NewPool(opts), n, window, task, emit)
+}
+
+// streamOrdered is the shared implementation. The coordination scheme is a
+// ring of `window` slots plus a token bucket: a worker takes a token
+// *before* claiming the next index, and the emitter returns the token only
+// after consuming a slot. Tokens are released in emission order and
+// acquired in index order, so at most `window` indices are ever claimed but
+// unemitted — which makes slot i%window collision-free and bounds memory.
+func streamOrdered[T any](ctx context.Context, p *Pool, n, window int,
+	task func(ctx context.Context, i int) (T, error),
+	emit func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if window <= 0 {
+		window = 2 * workers
+	}
+	if window > n {
+		window = n
+	}
+	// A window narrower than the pool is legal — the token bucket simply
+	// idles the surplus workers — so the memory bound always wins.
+
+	p.mu.Lock()
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	p.mu.Unlock()
+	p.total.Add(int64(n))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	slots := make([]T, window)
+	done := make([]chan error, window)
+	for i := range done {
+		done[i] = make(chan error, 1)
+	}
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	var (
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tokens:
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				begin := time.Now()
+				v, err := runStreamTask(runCtx, p, i, task)
+				p.observe(time.Since(begin), err)
+				// The store happens-before the channel send the emitter
+				// receives, and token gating guarantees the previous
+				// occupant of this slot was already consumed.
+				slots[i%window] = v
+				done[i%window] <- err
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var zero T
+emitLoop:
+	for k := 0; k < n; k++ {
+		select {
+		case err := <-done[k%window]:
+			if err != nil {
+				break emitLoop // fail() already ran on the worker
+			}
+			if err := emit(k, slots[k%window]); err != nil {
+				fail(err)
+				break emitLoop
+			}
+			slots[k%window] = zero // don't pin emitted results
+			tokens <- struct{}{}   // buffered: ≤ window tokens ever exist
+		case <-runCtx.Done():
+			break emitLoop
+		}
+	}
+	cancel()
+	wg.Wait()
+	p.emit()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// runStreamTask mirrors Pool.runTask (panic fence + optional watchdog) for
+// value-returning tasks.
+func runStreamTask[T any](ctx context.Context, p *Pool, i int, task func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if p.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		defer cancel()
+	}
+	return task(ctx, i)
+}

@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStreamOrderedEmitsInOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var got []int
+		err := StreamOrdered(context.Background(), 100, Options{Workers: workers}, 0,
+			func(_ context.Context, i int) (int, error) { return i * i, nil },
+			func(i, v int) error {
+				if v != i*i {
+					t.Fatalf("slot %d holds %d", i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: emitted %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: emission out of order at %d: %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestStreamOrderedBoundedWindow asserts the memory contract: no more than
+// `window` tasks are ever claimed but unemitted.
+func TestStreamOrderedBoundedWindow(t *testing.T) {
+	const n, window = 200, 4
+	var emitted atomic.Int64
+	emitted.Store(-1)
+	var maxLead atomic.Int64
+	err := StreamOrdered(context.Background(), n, Options{Workers: 8}, window,
+		func(_ context.Context, i int) (int, error) {
+			lead := int64(i) - emitted.Load()
+			for {
+				cur := maxLead.Load()
+				if lead <= cur || maxLead.CompareAndSwap(cur, lead) {
+					break
+				}
+			}
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // stagger so workers race ahead
+			}
+			return i, nil
+		},
+		func(i, _ int) error { emitted.Store(int64(i)); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A task at index i may start only after emit(i-window) returned, so
+	// the lead over the last emitted index is bounded by the window (+1 for
+	// the load race between the two atomics).
+	if got := maxLead.Load(); got > window+1 {
+		t.Errorf("max claimed-but-unemitted lead = %d, want ≤ %d", got, window+1)
+	}
+}
+
+func TestStreamOrderedTaskError(t *testing.T) {
+	boom := errors.New("boom")
+	var emitted int
+	err := StreamOrdered(context.Background(), 1000, Options{Workers: 4}, 0,
+		func(_ context.Context, i int) (int, error) {
+			if i == 17 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i, _ int) error { emitted = i + 1; return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if emitted > 17 {
+		t.Errorf("emitted %d results past the failure point", emitted-17)
+	}
+}
+
+func TestStreamOrderedEmitError(t *testing.T) {
+	stop := errors.New("stop")
+	var started atomic.Int64
+	err := StreamOrdered(context.Background(), 1000, Options{Workers: 4}, 4,
+		func(_ context.Context, i int) (int, error) { started.Add(1); return i, nil },
+		func(i, _ int) error {
+			if i == 5 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v", err)
+	}
+	// The bounded window means an emit error stops the world promptly.
+	if s := started.Load(); s > 5+4+4+1 {
+		t.Errorf("%d tasks started after emit error", s)
+	}
+}
+
+func TestStreamOrderedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted atomic.Int64
+	errc := make(chan error, 1)
+	go func() {
+		errc <- StreamOrdered(ctx, 1<<30, Options{Workers: 2}, 0,
+			func(ctx context.Context, i int) (int, error) {
+				select {
+				case <-ctx.Done():
+				case <-time.After(time.Microsecond):
+				}
+				return i, nil
+			},
+			func(i, _ int) error { emitted.Add(1); return nil })
+	}()
+	for emitted.Load() < 10 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not stop after cancellation")
+	}
+}
+
+func TestStreamOrderedPanicRecovery(t *testing.T) {
+	err := StreamOrdered(context.Background(), 50, Options{Workers: 4}, 0,
+		func(_ context.Context, i int) (int, error) {
+			if i == 13 {
+				panic("unlucky")
+			}
+			return i, nil
+		},
+		func(int, int) error { return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 13 {
+		t.Fatalf("err = %v, want PanicError at 13", err)
+	}
+}
+
+// TestStreamOrderedDeterministicFold is the property the fleet pipeline
+// relies on: folding emitted results in order is bit-identical at any
+// worker count and any window.
+func TestStreamOrderedDeterministicFold(t *testing.T) {
+	fold := func(workers, window int) string {
+		h := ""
+		err := StreamOrdered(context.Background(), 64, Options{Workers: workers}, window,
+			func(_ context.Context, i int) (int64, error) { return SplitSeed(99, int64(i)), nil },
+			func(i int, v int64) error { h = fmt.Sprintf("%s|%x", h, v); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	want := fold(1, 1)
+	for _, workers := range []int{2, 4, 16} {
+		for _, window := range []int{0, 3, 64} {
+			if got := fold(workers, window); got != want {
+				t.Errorf("workers=%d window=%d: fold differs from serial", workers, window)
+			}
+		}
+	}
+}
+
+func TestStreamOrderedEdgeCases(t *testing.T) {
+	if err := StreamOrdered(context.Background(), 0, Options{}, 0,
+		func(_ context.Context, i int) (int, error) { return 0, nil },
+		func(int, int) error { return nil }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	// n=1 with a huge window still works (window clamps to n).
+	ran := false
+	if err := StreamOrdered(context.Background(), 1, Options{Workers: 8}, 1024,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(int, int) error { ran = true; return nil }); err != nil || !ran {
+		t.Errorf("n=1: err=%v ran=%v", err, ran)
+	}
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint files let a 100k–1M-tenant run be killed and resumed without
+// redoing finished shards. The format is a fingerprint — run kind, problem
+// dimensions, seed, shard size and sketch accuracy — followed by the next
+// shard index and an opaque payload (the merged aggregate, or the
+// calibration digests). Because shards are merged in index order and all
+// mergeable state is exact, a resumed run's final state is bit-identical to
+// an uninterrupted one; a fingerprint mismatch (different spec) is an error
+// rather than a silent restart.
+
+const checkpointMagic = uint32(0x46434b31) // "FCK1"
+
+// checkpointFingerprint pins a checkpoint file to one exact run
+// configuration.
+type checkpointFingerprint struct {
+	Kind      string // "fleet" or "calibration"
+	DimA      int64  // tenants / configs
+	DimB      int64  // days / intervalsPer
+	Seed      int64
+	ShardSize int64
+	AlphaBits uint64 // sketch accuracy, exact IEEE bits
+}
+
+func (f checkpointFingerprint) encode() []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Kind)))
+	buf = append(buf, f.Kind...)
+	for _, v := range []uint64{uint64(f.DimA), uint64(f.DimB), uint64(f.Seed), uint64(f.ShardSize), f.AlphaBits} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+func fingerprintFor(kind string, dimA, dimB int, seed int64, shardSize int, alpha float64) checkpointFingerprint {
+	return checkpointFingerprint{
+		Kind:      kind,
+		DimA:      int64(dimA),
+		DimB:      int64(dimB),
+		Seed:      seed,
+		ShardSize: int64(shardSize),
+		AlphaBits: math.Float64bits(alpha),
+	}
+}
+
+// writeCheckpoint atomically replaces path with a checkpoint holding the
+// fingerprint, the index of the next shard to run, and payload. The write
+// goes to a temp file in the same directory and is renamed into place, so a
+// kill mid-write leaves either the old checkpoint or the new one — never a
+// torn file.
+func writeCheckpoint(path string, fp checkpointFingerprint, nextShard int, payload []byte) error {
+	fpb := fp.encode()
+	buf := make([]byte, 0, 16+len(fpb)+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, checkpointMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fpb)))
+	buf = append(buf, fpb...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nextShard))
+	buf = append(buf, payload...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads path. A missing file returns ok=false with no error
+// (fresh start); a present file with a different fingerprint is an error —
+// resuming someone else's run would silently corrupt the statistics.
+func readCheckpoint(path string, fp checkpointFingerprint) (nextShard int, payload []byte, ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	r := aggReader{buf: data}
+	if magic := r.u32(); r.err != nil || magic != checkpointMagic {
+		return 0, nil, false, fmt.Errorf("fleet: %s is not a checkpoint file", path)
+	}
+	fpLen := int(r.u32())
+	got := r.take(fpLen)
+	next := r.i64()
+	if r.err != nil {
+		return 0, nil, false, fmt.Errorf("fleet: truncated checkpoint %s", path)
+	}
+	if want := fp.encode(); string(got) != string(want) {
+		return 0, nil, false, fmt.Errorf("fleet: checkpoint %s was written by a different run spec (kind/size/seed/shard/accuracy mismatch)", path)
+	}
+	if next < 0 {
+		return 0, nil, false, fmt.Errorf("fleet: checkpoint %s has negative shard index", path)
+	}
+	return int(next), data[r.off:], true, nil
+}

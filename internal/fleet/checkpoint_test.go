@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestStreamKillAndResume is the checkpoint acceptance criterion: a run
+// killed mid-flight and resumed from its checkpoint produces an aggregate
+// byte-identical to an uninterrupted run.
+func TestStreamKillAndResume(t *testing.T) {
+	const tenants, days, seed, shard = 240, 1, 1234, 32
+	ckpt := filepath.Join(t.TempDir(), "fleet.ckpt")
+
+	uninterrupted, err := Stream(context.Background(),
+		mustFleetSpec(t, tenants, days, seed, WithShardSize(shard)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, err := uninterrupted.Aggregate.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt: die after the fourth shard (the visitor stands in for
+	// a kill). Checkpoints are written every 2 shards, so shards 0–3 are on
+	// disk.
+	killed := errors.New("simulated kill")
+	spec := mustFleetSpec(t, tenants, days, seed,
+		WithShardSize(shard), WithCheckpoint(ckpt), WithCheckpointEvery(2))
+	_, err = Stream(context.Background(), spec, func(sr ShardResult) error {
+		if sr.Index == 4 {
+			return killed
+		}
+		return nil
+	})
+	if !errors.Is(err, killed) {
+		t.Fatalf("first run: err = %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written before the kill: %v", err)
+	}
+
+	// Second attempt with the same spec resumes and completes.
+	res, err := Stream(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedShards == 0 {
+		t.Error("resume did not skip any shards")
+	}
+	gotRaw, err := res.Aggregate.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotRaw) != string(wantRaw) {
+		t.Error("resumed aggregate differs from uninterrupted run")
+	}
+	if !reflect.DeepEqual(res.Analysis, uninterrupted.Analysis) {
+		t.Error("resumed Analysis differs from uninterrupted run")
+	}
+
+	// A third run resumes from the final checkpoint: everything is already
+	// done, and the result is still identical.
+	res3, err := Stream(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.ResumedShards != res3.Shards {
+		t.Errorf("third run resumed %d of %d shards", res3.ResumedShards, res3.Shards)
+	}
+	raw3, err := res3.Aggregate.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw3) != string(wantRaw) {
+		t.Error("fully-resumed aggregate differs")
+	}
+}
+
+// TestCheckpointFingerprintMismatch: resuming with a different spec must
+// fail loudly instead of silently mixing two runs' statistics.
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "fleet.ckpt")
+	if _, err := Stream(context.Background(),
+		mustFleetSpec(t, 64, 1, 1, WithShardSize(32), WithCheckpoint(ckpt)), nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, spec := range map[string]FleetSpec{
+		"seed":      mustFleetSpec(t, 64, 1, 2, WithShardSize(32), WithCheckpoint(ckpt)),
+		"tenants":   mustFleetSpec(t, 65, 1, 1, WithShardSize(32), WithCheckpoint(ckpt)),
+		"days":      mustFleetSpec(t, 64, 2, 1, WithShardSize(32), WithCheckpoint(ckpt)),
+		"shardSize": mustFleetSpec(t, 64, 1, 1, WithShardSize(16), WithCheckpoint(ckpt)),
+		"accuracy":  mustFleetSpec(t, 64, 1, 1, WithShardSize(32), WithAccuracy(0.05), WithCheckpoint(ckpt)),
+	} {
+		if _, err := Stream(context.Background(), spec, nil); err == nil {
+			t.Errorf("%s mismatch: resume should fail", name)
+		}
+	}
+}
+
+// TestCheckpointGarbageFile: a file that is not a checkpoint errors rather
+// than being treated as a fresh start (it might be the user's data).
+func TestCheckpointGarbageFile(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "not-a-checkpoint")
+	if err := os.WriteFile(ckpt, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stream(context.Background(),
+		mustFleetSpec(t, 64, 1, 1, WithShardSize(32), WithCheckpoint(ckpt)), nil); err == nil {
+		t.Error("garbage checkpoint file should error")
+	}
+}
+
+// TestCalibrationKillAndResume mirrors the fleet kill/resume test for the
+// calibration pipeline.
+func TestCalibrationKillAndResume(t *testing.T) {
+	const configs, intervals, seed = 8, 2, 55
+	ckpt := filepath.Join(t.TempDir(), "cal.ckpt")
+	mustSpec := func(opts ...FleetOption) CalibrationSpec {
+		spec, err := NewCalibrationSpec(configs, intervals, seed, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+
+	base, err := StreamCalibration(context.Background(), mustSpec(WithShardSize(2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, err := encodeCalibrationDigests(base.Digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := errors.New("simulated kill")
+	spec := mustSpec(WithShardSize(2), WithCheckpoint(ckpt), WithCheckpointEvery(1))
+	if _, err := StreamCalibration(context.Background(), spec, func(cs CalibrationShard) error {
+		if cs.Index == 2 {
+			return killed
+		}
+		return nil
+	}); !errors.Is(err, killed) {
+		t.Fatalf("first run: err = %v", err)
+	}
+
+	res, err := StreamCalibration(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedShards == 0 {
+		t.Error("resume did not skip any shards")
+	}
+	gotRaw, err := encodeCalibrationDigests(res.Digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotRaw) != string(wantRaw) {
+		t.Error("resumed calibration digests differ from uninterrupted run")
+	}
+	if !reflect.DeepEqual(res.Thresholds, base.Thresholds) {
+		t.Error("resumed thresholds differ")
+	}
+}
+
+// TestWaitDigestBinaryRoundTrip checks digest serialization is exact and
+// rejects corruption.
+func TestWaitDigestBinaryRoundTrip(t *testing.T) {
+	res, err := StreamCalibration(context.Background(), func() CalibrationSpec {
+		s, err := NewCalibrationSpec(4, 2, 9, WithShardSize(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Digests {
+		raw, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := new(WaitDigest)
+		if err := back.UnmarshalBinary(raw); err != nil {
+			t.Fatal(err)
+		}
+		raw2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(raw2) {
+			t.Errorf("kind %v: digest round trip is not byte-identical", d.Kind())
+		}
+		if back.Kind() != d.Kind() || back.LowCount() != d.LowCount() || back.HighCount() != d.HighCount() {
+			t.Errorf("kind %v: round-tripped digest lost state", d.Kind())
+		}
+		if err := back.UnmarshalBinary(raw[:len(raw)-2]); err == nil {
+			t.Error("truncated digest should not decode")
+		}
+	}
+}

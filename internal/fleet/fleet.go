@@ -77,13 +77,28 @@ type Tenant struct {
 	Demand []resource.Vector
 }
 
-// Days returns the length of the series in days.
-func (t *Tenant) Days() int { return len(t.Demand) / IntervalsPerDay }
+// Days returns the length of the series in days, rounding a trailing
+// partial day up: a checkpoint-resumed or otherwise truncated series that
+// covers 1.5 days spans 2 calendar days, and the old truncating division
+// both undercounted it and reported 0 days (division by which the
+// changes-per-day statistics then skipped the tenant entirely) for any
+// series shorter than a full day.
+func (t *Tenant) Days() int {
+	if len(t.Demand) == 0 {
+		return 0
+	}
+	return (len(t.Demand) + IntervalsPerDay - 1) / IntervalsPerDay
+}
 
 // GenerateFleet synthesizes n tenants with days of 5-minute demand history.
 // Archetypes, scales and resource mixes vary per tenant; everything is
 // deterministic in the seed. Equivalent to GenerateFleetContext with a
 // background context and default pool options.
+//
+// Deprecated: this materializes the whole fleet in one slice and cannot
+// scale past ~10k tenants. Use Stream, which generates, analyzes and
+// discards tenants shard by shard; GenerateFleet remains as the exact
+// in-memory oracle for tests and small interactive runs.
 func GenerateFleet(n, days int, seed int64) []Tenant {
 	f, _ := GenerateFleetContext(context.Background(), n, days, seed, exec.Options{})
 	return f
@@ -94,6 +109,10 @@ func GenerateFleet(n, days int, seed int64) []Tenant {
 // exec.SplitSeed, so the fleet is deterministic in the seed and
 // bit-identical at any worker count. The error is non-nil only when ctx is
 // canceled before generation finishes.
+//
+// Deprecated: like GenerateFleet this holds every tenant in memory at
+// once. Use Stream for fleet-scale runs; the per-tenant series it feeds to
+// its aggregator are bit-identical to the tenants this returns.
 func GenerateFleetContext(ctx context.Context, n, days int, seed int64, opts exec.Options) ([]Tenant, error) {
 	return exec.Map(ctx, n, opts, func(_ context.Context, i int) (Tenant, error) {
 		rng := rand.New(rand.NewSource(exec.SplitSeed(seed, int64(i))))
@@ -101,8 +120,17 @@ func GenerateFleetContext(ctx context.Context, n, days int, seed int64, opts exe
 	})
 }
 
-// generateTenant builds one tenant's weekly demand.
+// generateTenant builds one tenant's weekly demand in a fresh allocation.
 func generateTenant(id, days int, rng *rand.Rand) Tenant {
+	return generateTenantInto(id, days, rng, nil)
+}
+
+// generateTenantInto builds one tenant's demand into buf when it has the
+// capacity — the streaming pipeline's warm path reuses one demand buffer
+// for every tenant of a shard, which is what keeps the per-tenant
+// allocation count flat. The produced series is bit-identical to
+// generateTenant's for the same RNG stream.
+func generateTenantInto(id, days int, rng *rand.Rand, buf []resource.Vector) Tenant {
 	arch := Archetype(rng.Intn(int(numArchetypes)))
 	intervals := days * IntervalsPerDay
 
@@ -120,7 +148,10 @@ func generateTenant(id, days int, rng *rand.Rand) Tenant {
 	burstLeft := 0
 	burstAmp := 1.0
 
-	t := Tenant{ID: id, Archetype: arch, Demand: make([]resource.Vector, intervals)}
+	if cap(buf) < intervals {
+		buf = make([]resource.Vector, intervals)
+	}
+	t := Tenant{ID: id, Archetype: arch, Demand: buf[:intervals]}
 	for i := 0; i < intervals; i++ {
 		level := 1.0
 		switch arch {
@@ -173,11 +204,19 @@ func generateTenant(id, days int, rng *rand.Rand) Tenant {
 // assigned the smallest container supported by the service that can meet
 // the resource requirements for that interval").
 func AssignContainers(t *Tenant, cat *resource.Catalog) []resource.Container {
-	out := make([]resource.Container, len(t.Demand))
-	for i, d := range t.Demand {
-		out[i], _ = cat.SmallestFitting(d)
+	return assignContainersInto(t, cat, nil)
+}
+
+// assignContainersInto is AssignContainers into a reusable buffer.
+func assignContainersInto(t *Tenant, cat *resource.Catalog, buf []resource.Container) []resource.Container {
+	if cap(buf) < len(t.Demand) {
+		buf = make([]resource.Container, len(t.Demand))
 	}
-	return out
+	buf = buf[:len(t.Demand)]
+	for i, d := range t.Demand {
+		buf[i], _ = cat.SmallestFitting(d)
+	}
+	return buf
 }
 
 // ChangeEvent records a container-size change between successive intervals.
@@ -199,7 +238,12 @@ func (c ChangeEvent) StepDelta() int {
 
 // ChangeEvents extracts the change events from a container assignment.
 func ChangeEvents(assignment []resource.Container) []ChangeEvent {
-	var out []ChangeEvent
+	return changeEventsInto(assignment, nil)
+}
+
+// changeEventsInto appends the change events into out[:0].
+func changeEventsInto(assignment []resource.Container, out []ChangeEvent) []ChangeEvent {
+	out = out[:0]
 	for i := 1; i < len(assignment); i++ {
 		if assignment[i].Name != assignment[i-1].Name {
 			out = append(out, ChangeEvent{
@@ -242,6 +286,11 @@ type Analysis struct {
 // ArchetypeBreakdown reports the average container changes per day for each
 // demand archetype — the fleet-operator view of *which* tenants drive the
 // resize volume.
+//
+// Deprecated: takes the whole fleet as a slice. The streaming pipeline's
+// Aggregate tracks the same breakdown incrementally; query it with
+// Aggregate.ArchetypeChangesPerDay (fleet-level rate rather than
+// mean-of-tenant-rates, see the method's comment).
 func ArchetypeBreakdown(fleet []Tenant, cat *resource.Catalog) map[Archetype]float64 {
 	sums := map[Archetype]float64{}
 	counts := map[Archetype]int{}
@@ -264,6 +313,12 @@ func ArchetypeBreakdown(fleet []Tenant, cat *resource.Catalog) map[Archetype]flo
 
 // Analyze runs the Section 2.2 study over the fleet. Equivalent to
 // AnalyzeContext with a background context and default pool options.
+//
+// Deprecated: requires the materialized fleet and buffers every
+// inter-event interval for the exact CDF. Use Stream, whose incremental
+// Aggregate reproduces every Analysis field bit-identically except IEICDF
+// (sketch resolution instead of sample resolution). Analyze remains as the
+// exact oracle the streaming equivalence tests compare against.
 func Analyze(fleet []Tenant, cat *resource.Catalog) Analysis {
 	a, _ := AnalyzeContext(context.Background(), fleet, cat, exec.Options{})
 	return a
@@ -274,6 +329,8 @@ func Analyze(fleet []Tenant, cat *resource.Catalog) Analysis {
 // across a worker pool. Aggregation happens serially in tenant index order
 // afterwards, so the Analysis is bit-identical to a serial pass at any
 // worker count. The error is non-nil only when ctx is canceled.
+//
+// Deprecated: see Analyze; use Stream for fleet-scale runs.
 func AnalyzeContext(ctx context.Context, fleet []Tenant, cat *resource.Catalog, opts exec.Options) (Analysis, error) {
 	perTenant, err := exec.Map(ctx, len(fleet), opts, func(_ context.Context, i int) ([]ChangeEvent, error) {
 		return ChangeEvents(AssignContainers(&fleet[i], cat)), nil

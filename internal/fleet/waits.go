@@ -25,6 +25,13 @@ type WaitSample struct {
 // (workload, container, load) configurations — a stand-in for observing
 // thousands of production tenants — and returns per-interval wait samples
 // for CPU and disk I/O. Deterministic in the seed.
+//
+// Deprecated: one sequential RNG threads through every configuration, so
+// the collection cannot shard, and the returned slice grows with
+// configs × intervals. Use StreamCalibration, which splits per-config
+// randomness with exec.SplitSeed and folds observations into bounded
+// WaitDigests. The two sample streams differ for the same seed;
+// CollectWaitSamples remains exact for compatibility tests.
 func CollectWaitSamples(configs, intervalsPer int, seed int64) ([]WaitSample, error) {
 	rng := rand.New(rand.NewSource(seed))
 	cat := resource.LockStepCatalog()
@@ -89,6 +96,10 @@ type WaitDistributions struct {
 
 // SplitByUtilization builds the Figure 6 distributions for a resource,
 // using the paper's 30%/70% utilization split.
+//
+// Deprecated: materializes every sample per band. Use WaitDigest, whose
+// Observe applies the same 30%/70% split into mergeable sketches; this
+// stays as the exact oracle for the digest error-bound tests.
 func SplitByUtilization(samples []WaitSample, k resource.Kind) WaitDistributions {
 	d := WaitDistributions{Kind: k}
 	for _, s := range samples {
@@ -125,6 +136,10 @@ func (d WaitDistributions) Separation() float64 {
 // Correlation computes Spearman's ρ between utilization and wait magnitude
 // for one resource across all samples — Figure 4's "increasing trend with a
 // wide band": positive but far from 1.
+//
+// Deprecated: needs the full sample slice. Use WaitDigest.Correlation,
+// which computes the same statistic over a bounded deterministic prefix of
+// the stream.
 func Correlation(samples []WaitSample, k resource.Kind) (float64, error) {
 	n := 0
 	for _, s := range samples {
@@ -156,6 +171,12 @@ func Correlation(samples []WaitSample, k resource.Kind) (float64, error) {
 // lower edge, not at its (saturation-dominated) upper percentiles. Both
 // values are clamped to a sane operating range. Resources without enough
 // samples keep the default thresholds.
+//
+// Deprecated: sorts every sample to take two percentiles. Use
+// StreamCalibration (or CalibrateDigests over WaitDigests); the
+// sketch-derived thresholds agree with this function's within the sketch
+// accuracy. Calibrate remains as the exact oracle those tests compare
+// against.
 func Calibrate(samples []WaitSample) estimator.Thresholds {
 	th := estimator.DefaultThresholds()
 	for _, k := range []resource.Kind{resource.CPU, resource.DiskIO} {

@@ -133,6 +133,22 @@ func WaitDistributionTable(w io.Writer, d fleet.WaitDistributions) {
 		stats.Median(d.LowUtilWaitPct)*100, stats.Median(d.HighUtilWaitPct)*100)
 }
 
+// WaitDigestTable is the streaming counterpart of WaitDistributionTable:
+// the same Figure 6 percentile view, read from a fleet.WaitDigest's
+// sketches instead of sample slices.
+func WaitDigestTable(w io.Writer, d *fleet.WaitDigest) {
+	fmt.Fprintf(w, "wait distributions for %s (low util <30%%: %d samples, high util >70%%: %d samples)\n",
+		d.Kind(), d.LowCount(), d.HighCount())
+	fmt.Fprintf(w, "  %-12s %12s %12s\n", "percentile", "low-util ms", "high-util ms")
+	for _, q := range []float64{0.5, 0.75, 0.9, 0.95} {
+		fmt.Fprintf(w, "  p%-11.0f %12.0f %12.0f\n", q*100,
+			d.LowMs().Quantile(q), d.HighMs().Quantile(q))
+	}
+	fmt.Fprintf(w, "  separation (high p75 / low p90): %.1fx\n", d.Separation())
+	fmt.Fprintf(w, "  %%-wait medians: low %.0f%%, high %.0f%%\n",
+		d.LowPct().Quantile(0.5)*100, d.HighPct().Quantile(0.5)*100)
+}
+
 // ASCIIChart renders a time series as a fixed-size ASCII chart — enough to
 // eyeball the Figure 8 trace shapes and the Figure 13/14 series in a
 // terminal.
