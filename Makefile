@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all bench-fleet deprecation-gate
+.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all bench-fleet bench-cluster profile deprecation-gate
 
 all: verify
 
@@ -73,6 +73,22 @@ bench-fleet:
 	BENCH_JSON=BENCH_fleet.json $(GO) test -run '^$$' \
 		-bench 'BenchmarkFleetStream|BenchmarkFleetCalibrationStream' \
 		-benchtime 1x -benchmem .
+
+# The cluster hot-path gate: the optimized schedule (parallel ticks+decide
+# over engine.TickBatch, serial apply) vs the retained PR-6 reference
+# schedule on a 1000-tenant cluster, bit-identity asserted, speedup gated
+# (1.5x with >= 4 CPUs, the core-independent 1.2x floor below that).
+# Numbers land in BENCH_cluster.json.
+bench-cluster:
+	BENCH_JSON=BENCH_cluster.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkCluster1kTenants' -benchtime 1x -benchmem .
+
+# Profile the cluster hot path: one 1k-tenant run with per-phase pprof
+# labels ("ticks+decide" vs "apply"), CPU and heap profiles written to
+# cluster_cpu.pprof / cluster_heap.pprof for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/daas-profile -tenants 1000 -intervals 12 -workers 8 \
+		-labels -cpuprofile cluster_cpu.pprof -memprofile cluster_heap.pprof
 
 # Every benchmark, including the full paper-figure reproductions.
 bench-all:

@@ -160,9 +160,12 @@ type Engine struct {
 
 	latencySink func(ms float64)
 
-	// lastWaitTypes is a per-engine scratch map, cleared and refilled each
-	// interval; LastIntervalWaitTypes hands out copies.
-	lastWaitTypes map[telemetry.WaitType]float64
+	// lastWaitMs holds the per-class wait totals of the most recently
+	// completed interval. The per-wait-type breakdown a real DBMS would
+	// report is derived from it on demand (LastIntervalWaitTypes,
+	// VisitLastIntervalWaitTypes), so closing an interval allocates and
+	// fills no map.
+	lastWaitMs [telemetry.NumWaitClasses]float64
 
 	acc intervalAccumulator
 }
@@ -183,11 +186,30 @@ type intervalAccumulator struct {
 	ticks             int
 }
 
+// MaxLatencySamplesPerTick caps how many per-request latency samples one
+// tick records (and feeds the latency sink): min(offered, this) per tick.
+// Collectors sizing run-level sample buffers use it as the per-tick upper
+// bound.
+const MaxLatencySamplesPerTick = 24
+
+// maxRetainedLatSamples caps the latency-sample backing array an engine
+// keeps across interval resets. A default interval produces at most
+// 24×TicksPerInterval samples (1440), far under the cap, so steady-state
+// turnover still reuses one array; only a burst interval (a caller ticking
+// far past TicksPerInterval before EndInterval) overshoots it, and without
+// the cap that one burst would pin its oversized array for the engine's
+// whole lifetime.
+const maxRetainedLatSamples = 4096
+
 // reset clears the accumulator for the next interval while keeping the
 // latency-sample backing array, so steady-state interval turnover does not
-// reallocate it.
+// reallocate it. Backing arrays beyond maxRetainedLatSamples are released
+// instead of retained.
 func (a *intervalAccumulator) reset() {
 	lat := a.latSamples[:0]
+	if cap(lat) > maxRetainedLatSamples {
+		lat = nil
+	}
 	*a = intervalAccumulator{}
 	a.latSamples = lat
 }
@@ -245,6 +267,14 @@ func (e *Engine) MemoryUsedMB() float64 { return e.usedMB }
 // sample as it is generated — the hook the experiment harness uses to
 // compute run-level percentiles across container changes.
 func (e *Engine) SetLatencySink(fn func(ms float64)) { e.latencySink = fn }
+
+// IntervalLatencies returns the latency samples recorded since the last
+// EndInterval, in generation order. The slice aliases the engine's internal
+// buffer: it is valid only until the next Tick, TickBatch or EndInterval
+// call and must not be mutated. Bulk collectors copy it once per interval
+// instead of installing a per-sample latency sink; the two observe the
+// identical sample stream (same values, same order).
+func (e *Engine) IntervalLatencies() []float64 { return e.acc.latSamples }
 
 // SheddedWork reports the cumulative work shed because a resource backlog
 // exceeded its cap (CPU core-ms, disk I/Os, log KB) — the engine's stand-in
@@ -418,7 +448,7 @@ func (e *Engine) Tick(offered float64) {
 			memStall +
 			perTxnLockWait +
 			perTxnLatch
-		n := int(math.Min(offered, 24))
+		n := int(math.Min(offered, MaxLatencySamplesPerTick))
 		if n < 1 {
 			n = 1
 		}
@@ -519,20 +549,18 @@ func (e *Engine) EndInterval() telemetry.Snapshot {
 		s.AvgLatencyMs = sum / float64(len(a.latSamples))
 		// The samples are discarded right after, so select the tail
 		// percentile in place — no copy, no sort.
-		s.P95LatencyMs = stats.QuantileSelect(a.latSamples, 0.95)
+		// The sample array is reset right after this, so the selection's
+		// in-place permutation is dead state: the unordered variant's
+		// cheaper partition scheme applies.
+		s.P95LatencyMs = stats.QuantileSelectUnordered(a.latSamples, 0.95)
 	}
-	// Emit the interval's waits in the shape a real DBMS reports them:
-	// per engine wait type, to be folded back into classes by the telemetry
-	// manager's mapping rules (Section 3.1 of the paper). The map is a
-	// reused per-engine scratch; LastIntervalWaitTypes hands out copies.
-	if e.lastWaitTypes == nil {
-		e.lastWaitTypes = make(map[telemetry.WaitType]float64, 32)
-	} else {
-		clear(e.lastWaitTypes)
-	}
-	for _, class := range telemetry.WaitClasses {
-		telemetry.AddClassWaits(e.lastWaitTypes, class, a.waitMs[class])
-	}
+	// Keep the interval's per-class wait totals so the raw per-wait-type
+	// view a real DBMS reports (Section 3.1 of the paper) can be derived
+	// on demand — LastIntervalWaitTypes and VisitLastIntervalWaitTypes.
+	// Closing an interval used to clear and refill a 28-entry scratch map
+	// here for every tenant whether or not anyone read it; the cluster hot
+	// path now just copies this array.
+	e.lastWaitMs = a.waitMs
 
 	e.acc.reset()
 	e.intervalIndex++
@@ -542,11 +570,22 @@ func (e *Engine) EndInterval() telemetry.Snapshot {
 // LastIntervalWaitTypes returns the per-wait-type breakdown of the most
 // recently completed interval's waits — the raw-telemetry view a production
 // DBMS exposes. telemetry.AggregateWaitTypes folds it back into the classes
-// the snapshot carries.
+// the snapshot carries. The map is freshly built per call; hot paths that
+// only need to fold or inspect the breakdown should use
+// VisitLastIntervalWaitTypes instead.
 func (e *Engine) LastIntervalWaitTypes() map[telemetry.WaitType]float64 {
-	out := make(map[telemetry.WaitType]float64, len(e.lastWaitTypes))
-	for t, ms := range e.lastWaitTypes {
-		out[t] = ms
-	}
+	out := make(map[telemetry.WaitType]float64, 32)
+	e.VisitLastIntervalWaitTypes(func(t telemetry.WaitType, ms float64) { out[t] += ms })
 	return out
+}
+
+// VisitLastIntervalWaitTypes calls fn once per wait type with that type's
+// share of the most recently completed interval's waits — the same
+// breakdown LastIntervalWaitTypes materializes, bit-identical values in
+// the same (deterministic catalog) order, with zero allocation. Before the
+// first EndInterval it visits nothing.
+func (e *Engine) VisitLastIntervalWaitTypes(fn func(telemetry.WaitType, float64)) {
+	for _, class := range telemetry.WaitClasses {
+		telemetry.VisitClassWaits(class, e.lastWaitMs[class], fn)
+	}
 }

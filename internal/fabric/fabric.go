@@ -66,6 +66,14 @@ type Server struct {
 	Capacity resource.Vector
 
 	tenants map[string]resource.Container
+	// alloc caches the sum of hosted container allocations, maintained
+	// incrementally on place/remove/resize. Catalog allocations are
+	// integral floats whose sums stay far below 2^53, so every add and
+	// subtract is exact and the cache is bit-identical to a recomputation
+	// in any order (Validate recomputes and checks). Placement scans call
+	// Fits once per server, which made the per-call map walk the cluster
+	// hot path's dominant fabric cost.
+	alloc resource.Vector
 }
 
 // newServer creates an empty server.
@@ -75,6 +83,12 @@ func newServer(id int, capacity resource.Vector) *Server {
 
 // Allocated returns the sum of hosted container allocations.
 func (s *Server) Allocated() resource.Vector {
+	return s.alloc
+}
+
+// recomputeAllocated sums the hosted allocations from scratch — the
+// invariant checks' independent view of the cached sum.
+func (s *Server) recomputeAllocated() resource.Vector {
 	var sum resource.Vector
 	for _, c := range s.tenants {
 		sum = sum.Add(c.Alloc)
@@ -189,6 +203,7 @@ func (f *Fabric) Place(tenantID string, c resource.Container) error {
 		return fmt.Errorf("fabric: no server can host tenant %q with container %s", tenantID, c.Name)
 	}
 	f.servers[idx].tenants[tenantID] = c
+	f.servers[idx].alloc = f.servers[idx].alloc.Add(c.Alloc)
 	f.placement[tenantID] = idx
 	return nil
 }
@@ -199,7 +214,9 @@ func (f *Fabric) Remove(tenantID string) error {
 	if !ok {
 		return fmt.Errorf("fabric: tenant %q not placed", tenantID)
 	}
+	c := f.servers[idx].tenants[tenantID]
 	delete(f.servers[idx].tenants, tenantID)
+	f.servers[idx].alloc = f.servers[idx].alloc.Sub(c.Alloc)
 	delete(f.placement, tenantID)
 	return nil
 }
@@ -234,6 +251,7 @@ func (f *Fabric) Resize(tenantID string, to resource.Container) (migrated bool, 
 	delta := to.Alloc.Sub(cur.Alloc)
 	if host.Fits(delta.Max(resource.Vector{})) {
 		host.tenants[tenantID] = to
+		host.alloc = host.alloc.Add(delta)
 		return false, nil
 	}
 	// Migration: find another server with room for the full new container.
@@ -243,7 +261,9 @@ func (f *Fabric) Resize(tenantID string, to resource.Container) (migrated bool, 
 		return false, fmt.Errorf("%w: no server can host tenant %q at %s", ErrRefused, tenantID, to.Name)
 	}
 	delete(host.tenants, tenantID)
+	host.alloc = host.alloc.Sub(cur.Alloc)
 	f.servers[dst].tenants[tenantID] = to
+	f.servers[dst].alloc = f.servers[dst].alloc.Add(to.Alloc)
 	f.placement[tenantID] = dst
 	f.migrations++
 	return true, nil
@@ -254,6 +274,9 @@ func (f *Fabric) Resize(tenantID string, to resource.Container) (migrated bool, 
 func (f *Fabric) Validate() error {
 	seen := map[string]int{}
 	for i, s := range f.servers {
+		if got := s.recomputeAllocated(); got != s.alloc {
+			return fmt.Errorf("fabric: server %d allocation cache drifted: cached %v, actual %v", i, s.alloc, got)
+		}
 		if !s.Capacity.Dominates(s.Allocated()) {
 			return fmt.Errorf("fabric: server %d overcommitted: %v > %v", i, s.Allocated(), s.Capacity)
 		}

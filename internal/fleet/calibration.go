@@ -174,6 +174,7 @@ func runCalibrationShard(ctx context.Context, spec CalibrationSpec, shard int) (
 	digests := newCalibrationDigests(o.alpha)
 	cat := resource.LockStepCatalog()
 	rng := rand.New(rand.NewSource(0))
+	var offered []float64 // per-interval load buffer, reused across configs
 	for c := first; c < first+count; c++ {
 		if err := ctx.Err(); err != nil {
 			return CalibrationShard{}, err
@@ -201,11 +202,19 @@ func runCalibrationShard(ctx context.Context, spec CalibrationSpec, shard int) (
 			return CalibrationShard{}, err
 		}
 		rps := rng.Float64() * 700
+		if n := eng.TicksPerInterval(); cap(offered) < n {
+			offered = make([]float64, n)
+		}
 		for i := 0; i < spec.IntervalsPer; i++ {
-			for t := 0; t < eng.TicksPerInterval(); t++ {
+			// The config RNG and the engine's RNG are independent streams,
+			// so drawing the interval's jitters up front and batch-ticking
+			// preserves both sequences — bit-identical to per-call Tick.
+			buf := offered[:eng.TicksPerInterval()]
+			for t := range buf {
 				jitter := 1 + 0.1*(2*rng.Float64()-1)
-				eng.Tick(rps * jitter)
+				buf[t] = rps * jitter
 			}
+			eng.TickBatch(buf)
 			snap := eng.EndInterval()
 			for k, kind := range calibrationKinds {
 				wc := telemetry.WaitClassFor(kind)

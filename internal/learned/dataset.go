@@ -44,6 +44,7 @@ func GenerateDataset(family string, configs, intervalsPer int, seed int64) ([]Ob
 	rng := rand.New(rand.NewSource(seed))
 	cat := resource.LockStepCatalog()
 	var out []Observation
+	var loads []float64 // per-interval load buffer shared by the twin runs
 	for c := 0; c < configs; c++ {
 		var w *workload.Workload
 		switch family {
@@ -81,13 +82,20 @@ func GenerateDataset(family string, configs, intervalsPer int, seed int64) ([]Ob
 		if err != nil {
 			return nil, err
 		}
+		if n := baseEng.TicksPerInterval(); cap(loads) < n {
+			loads = make([]float64, n)
+		}
 		for i := 0; i < intervalsPer; i++ {
-			for t := 0; t < baseEng.TicksPerInterval(); t++ {
+			// Both twins replay the identical load sequence, drawn up front
+			// (the config RNG is independent of the engines' RNGs, so the
+			// batched run is bit-identical to interleaved per-call ticks).
+			buf := loads[:baseEng.TicksPerInterval()]
+			for t := range buf {
 				jitter := 1 + 0.1*(2*rng.Float64()-1)
-				load := rps * jitter
-				baseEng.Tick(load)
-				upEng.Tick(load)
+				buf[t] = rps * jitter
 			}
+			baseEng.TickBatch(buf)
+			upEng.TickBatch(buf)
 			bs := baseEng.EndInterval()
 			us := upEng.EndInterval()
 			label := bs.P95LatencyMs > 0 && us.P95LatencyMs <= 0.5*bs.P95LatencyMs

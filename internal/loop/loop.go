@@ -124,6 +124,12 @@ type Config[T comparable] struct {
 	// CollectLatencies installs a latency sink on the engine so Finalize
 	// can compute run-level P95/Avg over every request.
 	CollectLatencies bool
+	// SampleCapacityHint pre-sizes the run-level latency buffer (used with
+	// CollectLatencies) so collection never reallocates mid-run. Runners
+	// that know their interval count pass
+	// intervals × TicksPerInterval × engine.MaxLatencySamplesPerTick;
+	// zero grows on demand.
+	SampleCapacityHint int
 }
 
 // TenantLoop steps one tenant's control loop. It is single-goroutine
@@ -143,6 +149,21 @@ type TenantLoop[T comparable] struct {
 	totalCost float64
 	changes   int
 	samples   []float64
+	// collect mirrors Config.CollectLatencies; sinkOn is set once
+	// RunTicksReference has installed the per-sample engine sink, after
+	// which RunTicks must not also bulk-copy the interval's samples.
+	collect bool
+	sinkOn  bool
+
+	// offered is the per-interval offered-load buffer RunTicks hands to
+	// engine.TickBatch, reused across intervals.
+	offered []float64
+	// delivered, preFaults and preAct carry Decide's channel observations
+	// to Apply (the two halves of a step may run in different phases of a
+	// cluster schedule; see Decide/Apply).
+	delivered int
+	preFaults faults.Stats
+	preAct    actuate.Stats
 }
 
 // Totals is the loop's run-level aggregation.
@@ -182,38 +203,96 @@ func New[T comparable](cfg Config[T]) *TenantLoop[T] {
 		// run seed alone, never from scheduling.
 		lp.act = actuate.New(cfg.Actuation, exec.SplitSeed(cfg.Seed, ActuationStreamSalt), cfg.Applier.Actual())
 	}
-	if cfg.CollectLatencies {
-		lp.eng.SetLatencySink(func(ms float64) { lp.samples = append(lp.samples, ms) })
+	lp.collect = cfg.CollectLatencies
+	if lp.collect && cfg.SampleCapacityHint > 0 {
+		lp.samples = make([]float64, 0, cfg.SampleCapacityHint)
 	}
 	return lp
 }
 
+// appendSamples bulk-appends one interval's latency samples to the
+// run-level buffer. Growth doubles the backing array instead of relying on
+// append's growth factor: the buffer holds every request of the run
+// (hundreds of intervals), and doubling keeps the total bytes moved across
+// a run linear in the final size. Sample order — and therefore Finalize's
+// percentile/mean bit pattern — is exactly the per-sample sink's.
+func (lp *TenantLoop[T]) appendSamples(s []float64) {
+	if need := len(lp.samples) + len(s); need > cap(lp.samples) {
+		grow := 2 * cap(lp.samples)
+		if grow < need {
+			grow = need
+		}
+		ns := make([]float64, len(lp.samples), grow)
+		copy(ns, lp.samples)
+		lp.samples = ns
+	}
+	lp.samples = append(lp.samples, s...)
+}
+
 // RunTicks drives one billing interval of engine work at the given target
 // load and snapshots it. This is the parallel phase: it touches only the
-// loop's own engine and generator.
+// loop's own engine and generator. The interval's offered loads are drawn
+// up front into a reused buffer and run through engine.TickBatch — the
+// generator and the engine own independent RNG streams, so batching the
+// draws preserves both sequences and the interval is bit-identical to the
+// per-call RunTicksReference.
 func (lp *TenantLoop[T]) RunTicks(targetRPS float64) {
+	n := lp.eng.TicksPerInterval()
+	if cap(lp.offered) < n {
+		lp.offered = make([]float64, n)
+	}
+	buf := lp.offered[:n]
+	for t := range buf {
+		buf[t] = lp.gen.Offered(targetRPS)
+	}
+	lp.eng.TickBatch(buf)
+	if lp.collect && !lp.sinkOn {
+		// Bulk-copy the interval's samples before EndInterval resets them.
+		// The engine sink stays uninstalled on this path, so the kernel
+		// skips the per-sample closure call entirely.
+		lp.appendSamples(lp.eng.IntervalLatencies())
+	}
+	lp.snap = lp.eng.EndInterval()
+}
+
+// RunTicksReference is RunTicks through per-call engine.Tick — the
+// retained pre-batching interval loop. It is kept as the exact baseline
+// the cluster benchmark gate and the batching equivalence tests measure
+// RunTicks against.
+func (lp *TenantLoop[T]) RunTicksReference(targetRPS float64) {
+	if lp.collect && !lp.sinkOn {
+		// The baseline collected latencies through a per-sample sink
+		// closure; installing it here (before the loop's first tick) keeps
+		// the reference schedule's costs faithful to that era. Once on, the
+		// sink owns collection for the rest of the run — RunTicks sees
+		// sinkOn and skips its bulk copy.
+		lp.eng.SetLatencySink(func(ms float64) { lp.samples = append(lp.samples, ms) })
+		lp.sinkOn = true
+	}
 	for t := 0; t < lp.eng.TicksPerInterval(); t++ {
 		lp.eng.Tick(lp.gen.Offered(targetRPS))
 	}
 	lp.snap = lp.eng.EndInterval()
 }
 
-// DecideApply runs the decision phase of the interval snapshotted by the
-// last RunTicks: cost accrual, telemetry delivery through the fault
-// injector, the decision, its application (synchronous or through the
-// actuation channel), decider reconciliation, and the DecisionRecord.
-func (lp *TenantLoop[T]) DecideApply(interval int) error {
+// Decide runs the decision half of the interval snapshotted by the last
+// RunTicks: cost accrual, telemetry delivery through the fault injector,
+// and the decision itself. It reads and writes only loop-private state —
+// the engine, the decider, the injector, and the applier's Actual (the
+// loop's own substrate record) — never shared infrastructure, which is
+// what lets a cluster schedule fan Decide across workers while holding
+// back only Apply. Apply must follow before the next Decide.
+func (lp *TenantLoop[T]) Decide(interval int) {
 	lp.totalCost += lp.snap.Cost
 	lp.actual = lp.cfg.Applier.Actual()
 
-	var preFaults faults.Stats
-	var preAct actuate.Stats
+	lp.preFaults, lp.preAct = faults.Stats{}, actuate.Stats{}
 	if lp.cfg.Recorder != nil {
 		if lp.inj != nil {
-			preFaults = lp.inj.Stats()
+			lp.preFaults = lp.inj.Stats()
 		}
 		if lp.act != nil {
-			preAct = lp.act.Stats()
+			lp.preAct = lp.act.Stats()
 		}
 	}
 
@@ -232,13 +311,23 @@ func (lp *TenantLoop[T]) DecideApply(interval int) error {
 			delivered++
 		}
 	}
+	lp.delivered = delivered
 	lp.observed = delivered > 0
-	dec := lp.cfg.Decider.Decide(StepInfo{
+	lp.dec = lp.cfg.Decider.Decide(StepInfo{
 		Interval: interval,
 		Observed: lp.observed,
 		Faulted:  lp.inj != nil,
 	}, lp.snap, lp.actual)
-	lp.dec = dec
+}
+
+// Apply commits the decision of the last Decide to the substrate —
+// synchronously or through the actuation channel — reconciles the decider
+// with the substrate's reality, and emits the DecisionRecord. This is the
+// serial half: on a shared fabric the applies must run in tenant order.
+func (lp *TenantLoop[T]) Apply(interval int) error {
+	dec := lp.dec
+	delivered := lp.delivered
+	preFaults, preAct := lp.preFaults, lp.preAct
 
 	if lp.act == nil {
 		// Synchronous path: the decision applies instantly within the
@@ -308,6 +397,15 @@ func (lp *TenantLoop[T]) DecideApply(interval int) error {
 		lp.cfg.Recorder.Record(rec)
 	}
 	return nil
+}
+
+// DecideApply runs the decision phase of the interval snapshotted by the
+// last RunTicks — Decide then Apply, back to back. Single-tenant loops
+// (and cluster schedules with nothing to parallelize) use this
+// composition; it is exactly the historical single-call sequence.
+func (lp *TenantLoop[T]) DecideApply(interval int) error {
+	lp.Decide(interval)
+	return lp.Apply(interval)
 }
 
 // Step runs one full interval — RunTicks then DecideApply — the

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"daasscale/internal/engine"
+	"daasscale/internal/fabric"
+	"daasscale/internal/faults"
+	"daasscale/internal/trace"
+	"daasscale/internal/workload"
+)
+
+// decideSplitSpec is a small cluster under combined telemetry faults and
+// actuation chaos with auditing on — the most state the decide/apply split
+// has to carry between phases (decisions, fault/actuation stat deltas,
+// audit records).
+func decideSplitSpec() MultiTenantSpec {
+	mk := func(i int, w *workload.Workload, tr *trace.Trace, goal float64) TenantSpec {
+		return TenantSpec{ID: string(rune('a' + i)), Workload: w, Trace: tr, GoalMs: goal, Seed: int64(i + 1)}
+	}
+	return MultiTenantSpec{
+		Tenants: []TenantSpec{
+			mk(0, workload.DS2(), trace.Trace1(90, 1), 60),
+			mk(1, workload.TPCC(), trace.Trace4(90, 2), 200),
+			mk(2, workload.CPUIO(workload.DefaultCPUIOConfig()), trace.Trace2(90, 3), 80),
+			mk(3, workload.DS2(), trace.Trace3(70, 4), 90),
+			mk(4, workload.TPCC(), trace.Trace1(90, 5), 150),
+		},
+		Servers:    2,
+		Policy:     fabric.BestFit,
+		EngineOpts: engine.Options{WarmStart: true},
+		Faults:     faults.Uniform(0.15),
+		Actuation:  actuationChaosConfig(),
+		Audit:      true,
+	}
+}
+
+// TestClusterDecideSplitWorkerBitIdentity is the parallel-decide phase's
+// worker-count property under combined faults + actuation chaos: fanning
+// RunTicks+Decide across 1, 3 or 8 workers — and the retained fully-serial
+// reference schedule — all produce byte-identical cluster results, audit
+// trails included.
+func TestClusterDecideSplitWorkerBitIdentity(t *testing.T) {
+	ctx := context.Background()
+
+	ref, err := NewRunner(WithParallelism(1), WithClusterReference()).RunMultiTenant(ctx, decideSplitSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := NewRunner(WithParallelism(workers)).RunMultiTenant(ctx, decideSplitSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			for i := range ref.Tenants {
+				if !reflect.DeepEqual(ref.Tenants[i], got.Tenants[i]) {
+					t.Fatalf("workers=%d: tenant %s diverged from serial reference:\nref %+v\ngot %+v",
+						workers, ref.Tenants[i].ID, ref.Tenants[i], got.Tenants[i])
+				}
+			}
+			t.Fatalf("workers=%d: cluster totals diverged from serial reference:\nref %+v\ngot %+v",
+				workers, ref, got)
+		}
+	}
+}
+
+// TestClusterPhaseLabelsBitIdentical: pprof phase labelling is pure
+// observability — it must not perturb results.
+func TestClusterPhaseLabelsBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	plain, err := NewRunner(WithParallelism(4)).RunMultiTenant(ctx, decideSplitSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := NewRunner(WithParallelism(4), WithPhaseLabels()).RunMultiTenant(ctx, decideSplitSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, labeled) {
+		t.Fatal("phase labels changed cluster results")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 
 	"daasscale/internal/actuate"
 	"daasscale/internal/core"
@@ -102,8 +103,9 @@ type MultiTenantSpec struct {
 	// TenantResult.Audit.
 	Audit bool
 	// Recorder, when set, receives every tenant's audit stream. Records
-	// arrive from the serial decision phase — interval by interval, tenant
-	// order within an interval — so a shared Recorder needs no locking.
+	// are emitted by the serial apply phase — interval by interval, tenant
+	// order within an interval — so a shared Recorder needs no locking
+	// even though decisions themselves are computed in parallel.
 	Recorder loop.Recorder
 }
 
@@ -178,20 +180,38 @@ type tenantState struct {
 	col  *loop.Collector
 }
 
+// clusterSchedule selects how runMultiTenant lays the interval loop over
+// the worker pool. The zero value is the optimized schedule.
+type clusterSchedule struct {
+	// reference selects the retained pre-optimization schedule: per-call
+	// engine ticks (loop.RunTicksReference) fanned across workers, then a
+	// fully serial DecideApply phase — exactly the PR-6 interval loop. The
+	// cluster benchmark measures the optimized schedule against it;
+	// results are bit-identical either way.
+	reference bool
+	// labels wraps each phase in runtime/pprof labels so CPU profiles can
+	// be split per phase. Off by default: pprof.Do allocates per call.
+	labels bool
+}
+
 // runMultiTenant is the context-aware, pool-parallel implementation behind
 // Runner.RunMultiTenant. The spec must already be validated and resolved.
 //
 // The interval loop is split into two phases, matching TenantLoop's
-// RunTicks/DecideApply split. Phase 1 — the engine ticks and interval
-// snapshot, the overwhelming bulk of the cycles — is embarrassingly
-// parallel: tenants interact only through the fabric, and the fabric is
-// never read or written while ticking. Phase 2 — observe, resize through
-// the shared fabric, reconcile — runs serially in tenant order, exactly
-// as the historical serial loop ordered it. Because a tenant's ticks
-// depend only on its own engine state and its own previous decision, the
-// two-phase schedule produces bit-identical results to the serial
-// interleaving at any worker count.
-func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) (MultiTenantResult, error) {
+// RunTicks / Decide / Apply split. Phase 1 — the engine ticks, the
+// interval snapshot AND the scaling decision — fans across the pool:
+// ticking touches only the tenant's own engine, and a tenant's decision
+// reads only its own state (its snapshot, its decider, its fault
+// injector's private stream, and its own substrate record through
+// Applier.Actual), so decisions are order-independent across tenants.
+// Phase 2 — the applies, which resize through the shared fabric and whose
+// placement outcomes therefore depend on who asked first — runs serially
+// in tenant order, exactly as the historical serial loop ordered it.
+// Because a tenant's ticks and decision depend only on its own state and
+// its own previous apply, the schedule produces bit-identical results to
+// the serial interleaving at any worker count (the golden equivalence
+// suite and the worker-count chaos tests pin this).
+func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool, sched clusterSchedule) (MultiTenantResult, error) {
 	cat := spec.Catalog
 	servers := spec.Servers
 	if servers == 0 {
@@ -224,6 +244,10 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		if err != nil {
 			return nil, err
 		}
+		sampleHint := 0
+		if !sched.reference {
+			sampleHint = intervals * eng.TicksPerInterval() * engine.MaxLatencySamplesPerTick
+		}
 		st := &tenantState{spec: ts, eng: eng, res: TenantResult{ID: ts.ID}}
 		rec, col := specRecorder(spec.Audit, spec.Recorder)
 		st.col = col
@@ -241,6 +265,12 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 			Describe:         loop.DescribeContainer,
 			SetMemoryTarget:  true,
 			CollectLatencies: true,
+			// Idle tenants (trace ended) record no samples, so this is an
+			// upper bound; it turns a run's worth of sample collection into
+			// one allocation per tenant. The reference schedule leaves it
+			// unset: the baseline grew its buffers on demand, and the
+			// benchmark gate measures against that era's behavior.
+			SampleCapacityHint: sampleHint,
 		})
 		return st, nil
 	})
@@ -253,30 +283,73 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool) 
 		}
 	}
 
+	// The pprof label sets are built once per run: pprof.Do itself
+	// allocates per call, which is why labelling is opt-in at all.
+	var ticksLabels, applyLabels pprof.LabelSet
+	if sched.labels {
+		ticksLabels = pprof.Labels("phase", "ticks+decide")
+		applyLabels = pprof.Labels("phase", "apply")
+	}
+
 	out := MultiTenantResult{}
 	for m := 0; m < intervals; m++ {
 		if err := checkCtx(ctx); err != nil {
 			return MultiTenantResult{}, fmt.Errorf("sim: cluster interval %d: %w", m, err)
 		}
-		// Phase 1: every tenant's billing interval, fanned across workers.
+		// Phase 1: every tenant's billing interval — engine ticks plus the
+		// tenant-local scaling decision — fanned across workers. The
+		// reference schedule keeps the historical shape: per-call ticks
+		// here, decisions deferred to the serial phase.
 		err := pool.Run(ctx, len(states), func(_ context.Context, i int) error {
 			st := states[i]
 			target := st.spec.Trace.At(m)
 			if m >= st.spec.Trace.Len() {
 				target = 0 // this tenant's trace ended; it idles
 			}
-			st.lp.RunTicks(target)
+			run := func() {
+				if sched.reference {
+					st.lp.RunTicksReference(target)
+				} else {
+					st.lp.RunTicks(target)
+					st.lp.Decide(m)
+				}
+			}
+			if sched.labels {
+				pprof.Do(ctx, ticksLabels, func(context.Context) { run() })
+			} else {
+				run()
+			}
 			return nil
 		})
 		if err != nil {
 			return MultiTenantResult{}, wrapCanceled(err)
 		}
-		// Phase 2: decisions through the shared fabric, serial in tenant
+		// Phase 2: the applies through the shared fabric, serial in tenant
 		// order (the fabric's placement state makes the order load-bearing).
-		for _, st := range states {
-			if err := st.lp.DecideApply(m); err != nil {
-				return MultiTenantResult{}, fmt.Errorf("sim: interval %d: resizing tenant %q: %w", m, st.spec.ID, err)
+		// Records reach a shared Recorder from here, so it needs no locking.
+		apply := func() error {
+			for _, st := range states {
+				var err error
+				if sched.reference {
+					err = st.lp.DecideApply(m)
+				} else {
+					err = st.lp.Apply(m)
+				}
+				if err != nil {
+					return fmt.Errorf("sim: interval %d: resizing tenant %q: %w", m, st.spec.ID, err)
+				}
 			}
+			return nil
+		}
+		if sched.labels {
+			var applyErr error
+			pprof.Do(ctx, applyLabels, func(context.Context) { applyErr = apply() })
+			err = applyErr
+		} else {
+			err = apply()
+		}
+		if err != nil {
+			return MultiTenantResult{}, err
 		}
 		for _, u := range fab.Utilization() {
 			if u > out.PeakClusterCPUFrac {

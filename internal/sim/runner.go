@@ -41,6 +41,8 @@ type Runner struct {
 	jitter      float64
 	faults      faults.Plan
 	actuation   actuate.Config
+	clusterRef  bool
+	phaseLabels bool
 }
 
 // Option configures a Runner.
@@ -107,6 +109,26 @@ func WithFaults(p faults.Plan) Option {
 // synchronous so actuated and clean comparisons share the same goal.
 func WithActuation(cfg actuate.Config) Option {
 	return func(r *Runner) { r.actuation = cfg }
+}
+
+// WithClusterReference makes RunMultiTenant use the retained pre-batching
+// cluster schedule: per-call engine ticks and a fully serial decide+apply
+// phase, exactly as the runner executed before the parallel-decide /
+// batched-tick-kernel optimization. Results are bit-identical to the
+// optimized schedule — this option exists so the cluster benchmark and the
+// profiling harness can measure the optimization against its in-tree
+// baseline, not for production use.
+func WithClusterReference() Option {
+	return func(r *Runner) { r.clusterRef = true }
+}
+
+// WithPhaseLabels annotates the cluster runner's phases with runtime/pprof
+// labels (`phase=ticks+decide`, `phase=apply`) so CPU profiles can
+// attribute samples per phase (`go tool pprof -tagfocus phase=apply`).
+// Off by default: pprof.Do allocates on every call, which the hot path
+// must not pay when nobody is profiling.
+func WithPhaseLabels() Option {
+	return func(r *Runner) { r.phaseLabels = true }
 }
 
 // NewRunner builds a Runner from functional options. The zero-option
@@ -345,7 +367,10 @@ func (r *Runner) RunMultiTenant(ctx context.Context, spec MultiTenantSpec) (Mult
 	if err := spec.Validate(); err != nil {
 		return MultiTenantResult{}, err
 	}
-	return runMultiTenant(ctx, spec, r.newPool())
+	return runMultiTenant(ctx, spec, r.newPool(), clusterSchedule{
+		reference: r.clusterRef,
+		labels:    r.phaseLabels,
+	})
 }
 
 // execMapPool is exec.Map over an existing pool.

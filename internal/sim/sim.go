@@ -202,6 +202,8 @@ func runSpec(ctx context.Context, spec Spec) (Result, error) {
 		Describe:         loop.DescribeContainer,
 		SetMemoryTarget:  true,
 		CollectLatencies: true,
+		SampleCapacityHint: spec.Trace.Len() * eng.TicksPerInterval() *
+			engine.MaxLatencySamplesPerTick,
 	})
 
 	res := Result{

@@ -72,6 +72,102 @@ func QuantileSelect(xs []float64, q float64) float64 {
 	return xs[lo]*(1-frac) + hiVal*frac
 }
 
+// QuantileSelectUnordered returns exactly QuantileSelect's value — the same
+// order statistics fed through the same interpolation expression — but
+// leaves xs in an unspecified order, which frees it to partition with the
+// Hoare scheme: Hoare swaps only wrong-sided pairs, where the Lomuto scheme
+// in selectKth swaps every element below the pivot — for a high quantile
+// such as P95 that is nearly the whole range on the first pass. Callers
+// whose slice is dead or reset after the call (the engine's per-interval
+// P95) use this; callers whose later arithmetic consumes the slice in its
+// post-selection order (run-level Finalize, which sums for the mean after
+// selecting) must keep QuantileSelect, whose permutation is deterministic.
+// The returned value is algorithm-independent: which elements are the k-th
+// and (k+1)-th order statistics of a multiset does not depend on how they
+// are selected.
+func QuantileSelectUnordered(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 || q >= 1 || n == 1 {
+		return QuantileSelect(xs, q)
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	selectKthHoare(xs, lo)
+	if lo == hi {
+		return xs[lo]
+	}
+	// hi == lo+1: after selection everything right of lo is ≥ xs[lo], so
+	// the next order statistic is the minimum of that suffix.
+	hiVal := xs[hi]
+	for _, v := range xs[hi+1:] {
+		if v < hiVal {
+			hiVal = v
+		}
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + hiVal*frac
+}
+
+// selectKthHoare is selectKth with Hoare partitioning: same postcondition
+// (xs[k] is the k-th order statistic, prefix ≤, suffix ≥), different — and
+// unspecified — final order elsewhere. Median-of-three pivot selection
+// doubles as the sentinel guard (xs[lo] ≤ pivot ≤ xs[hi]), so the inner
+// scans need no bounds checks beyond the crossing test.
+func selectKthHoare(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	depth := 2 * bits.Len(uint(len(xs)))
+	for hi > lo {
+		if hi-lo < 12 {
+			insertionSort(xs, lo, hi)
+			return
+		}
+		if depth == 0 {
+			sort.Float64s(xs[lo : hi+1])
+			return
+		}
+		depth--
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		// xs[lo..j] ≤ pivot ≤ xs[i..hi]; anything strictly between j and i
+		// equals the pivot and is already in final position.
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
 // selectKth partially sorts xs so that xs[k] holds the k-th order statistic
 // (0-based), everything before it is ≤ xs[k] and everything after is ≥
 // xs[k]. Introselect: quickselect with a median-of-three pivot, an

@@ -72,6 +72,54 @@ func TestQuantileSelectPreservesMultiset(t *testing.T) {
 	}
 }
 
+// TestQuantileSelectUnorderedMatches pins the unordered variant to
+// QuantileSelect bit-for-bit on random and adversarial inputs (including
+// large tied/sorted runs that drive the Hoare scans and the depth fallback),
+// and checks it still only permutes — same multiset afterwards.
+func TestQuantileSelectUnorderedMatches(t *testing.T) {
+	f := func(raw []float64, q16 uint16) bool {
+		xs := cleanSeries(raw, 1)
+		q := float64(q16) / math.MaxUint16
+		a := append([]float64(nil), xs...)
+		b := append([]float64(nil), xs...)
+		if QuantileSelectUnordered(a, q) != QuantileSelect(b, q) {
+			return false
+		}
+		sort.Float64s(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+
+	series := adversarialSeries()
+	rng := rand.New(rand.NewSource(95))
+	big := make([]float64, 5000)
+	for i := range big {
+		big[i] = math.Floor(rng.Float64() * 8) // heavy ties at length
+	}
+	series = append(series, big, make([]float64, 3000)) // all-zero run
+	for _, xs := range series {
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.99, 1, math.NaN()} {
+			a := append([]float64(nil), xs...)
+			b := append([]float64(nil), xs...)
+			got, want := QuantileSelectUnordered(a, q), QuantileSelect(b, q)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("QuantileSelectUnordered(len %d, q=%v) = %v, want %v", len(xs), q, got, want)
+			}
+		}
+	}
+	if !math.IsNaN(QuantileSelectUnordered(nil, 0.5)) {
+		t.Error("empty input must return NaN")
+	}
+}
+
 func TestMedianInPlaceMatchesMedian(t *testing.T) {
 	f := func(raw []float64) bool {
 		xs := cleanSeries(raw, 1)

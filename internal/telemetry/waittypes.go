@@ -97,9 +97,19 @@ func SplitClassWaits(class WaitClass, totalMs float64) map[WaitType]float64 {
 }
 
 // AddClassWaits is SplitClassWaits into a caller-owned map: the per-type
-// shares are accumulated into dst without allocating, so the engine can
-// reuse one scratch map across billing intervals.
+// shares are accumulated into dst without allocating a new map.
 func AddClassWaits(dst map[WaitType]float64, class WaitClass, totalMs float64) {
+	VisitClassWaits(class, totalMs, func(t WaitType, ms float64) { dst[t] += ms })
+}
+
+// VisitClassWaits is the zero-allocation form of SplitClassWaits: it calls
+// fn once per wait type of the class with that type's share of totalMs,
+// touching no map at all. The shares are computed with exactly the float
+// operations AddClassWaits historically used (totalMs * share / norm per
+// type), so a visitor-built map is bit-identical to the map variants. The
+// engine's hot path visits instead of materializing; classes with no
+// catalog or a non-positive total visit nothing.
+func VisitClassWaits(class WaitClass, totalMs float64, fn func(WaitType, float64)) {
 	types := classCatalog(class)
 	if len(types) == 0 || totalMs <= 0 {
 		return
@@ -113,7 +123,7 @@ func AddClassWaits(dst map[WaitType]float64, class WaitClass, totalMs float64) {
 	}
 	share = 1.0
 	for _, t := range types {
-		dst[t] += totalMs * share / norm
+		fn(t, totalMs*share/norm)
 		share /= 2
 	}
 }
