@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all bench-fleet bench-cluster profile deprecation-gate
+.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all bench-fleet bench-cluster bench-serve profile deprecation-gate
 
 all: verify
 
@@ -82,6 +82,14 @@ bench-fleet:
 bench-cluster:
 	BENCH_JSON=BENCH_cluster.json $(GO) test -run '^$$' \
 		-bench 'BenchmarkCluster1kTenants' -benchtime 1x -benchmem .
+
+# The serving-daemon ingest gate: concurrent tenant streams over real
+# HTTP against the full pipeline (JSON decode, idempotency/reorder,
+# policy decision, ledger append + fsync per request), throughput floored
+# at 10k snapshots/sec. Numbers land in BENCH_serve.json.
+bench-serve:
+	BENCH_JSON=BENCH_serve.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkServeIngest' -benchtime 1x -benchmem .
 
 # Profile the cluster hot path: one 1k-tenant run with per-phase pprof
 # labels ("ticks+decide" vs "apply"), CPU and heap profiles written to

@@ -94,14 +94,12 @@ func main() {
 			*actLatency, *actFail*100)
 	}
 	if *progress {
-		hook := func(p exec.Progress) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d tasks  %.1f/s  p50 %s  p95 %s  util %.0f%%   ",
-				p.Done, p.Total, p.TasksPerSec,
-				p.P50.Round(time.Millisecond), p.P95.Round(time.Millisecond),
-				p.WorkerUtilization*100)
-		}
-		execOpts.OnProgress = hook
-		runnerOpts = append(runnerOpts, sim.WithProgress(hook))
+		prog := report.NewProgress(os.Stderr, "tasks", time.Millisecond)
+		// Terminate the in-place line when main returns so the shell
+		// prompt never lands on top of a stale \r line.
+		defer prog.Finish()
+		execOpts.OnProgress = prog.Hook()
+		runnerOpts = append(runnerOpts, sim.WithProgress(prog.Hook()))
 	}
 	runner := sim.NewRunner(runnerOpts...)
 

@@ -25,7 +25,6 @@ import (
 	"time"
 
 	"daasscale/internal/estimator"
-	"daasscale/internal/exec"
 	"daasscale/internal/fleet"
 	"daasscale/internal/report"
 	"daasscale/internal/resource"
@@ -53,8 +52,17 @@ func main() {
 
 	var opts []fleet.FleetOption
 	opts = append(opts, fleet.WithParallelism(*workers), fleet.WithShardSize(*shardSize))
+	var prog *report.Progress
 	if *progress {
-		opts = append(opts, fleet.WithProgress(progressPrinter("shards")))
+		prog = report.NewProgress(os.Stderr, "shards", 10*time.Microsecond)
+		opts = append(opts, fleet.WithProgress(prog.Hook()))
+	}
+	// finishProgress terminates the in-place progress line before a report
+	// section prints, so tables never land on top of a stale \r line.
+	finishProgress := func() {
+		if prog != nil {
+			prog.Finish()
+		}
 	}
 	fleetOpts := opts
 	if *checkpoint != "" {
@@ -70,6 +78,7 @@ func main() {
 		log.Fatal(err)
 	}
 	res, err := fleet.Stream(ctx, spec, nil)
+	finishProgress()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,6 +94,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cal, err := fleet.StreamCalibration(ctx, calSpec, nil)
+	finishProgress()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,17 +141,5 @@ func main() {
 		}
 		fmt.Println("\n=== Section 4.1: threshold re-tuning report ===")
 		fleet.WriteDriftReport(os.Stdout, fleet.ThresholdDrift(active, th), 0.25)
-	}
-}
-
-// progressPrinter renders executor metrics on stderr. The hook may fire
-// concurrently from several workers; a single \r-terminated line per call
-// keeps the output readable without locking.
-func progressPrinter(unit string) func(exec.Progress) {
-	return func(p exec.Progress) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d %s  %.1f/s  p50 %s  p95 %s  util %.0f%%   ",
-			p.Done, p.Total, unit, p.TasksPerSec,
-			p.P50.Round(10*time.Microsecond), p.P95.Round(10*time.Microsecond),
-			p.WorkerUtilization*100)
 	}
 }

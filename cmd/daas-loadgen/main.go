@@ -1,0 +1,62 @@
+// Command daas-loadgen drives concurrent tenant telemetry streams
+// against a running daas-server and reports the sustained ingest
+// throughput as JSON on stdout. The CI smoke test uses it to exercise
+// the real daemon binary end to end.
+//
+// Usage:
+//
+//	daas-loadgen [-url http://127.0.0.1:8080] [-tenants N] [-snapshots M]
+//	             [-batch B] [-concurrency C] [-min-rate R]
+//
+// Exits non-zero on transport failure, any rejected request, or a
+// sustained rate below -min-rate (0 disables the gate).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"daasscale/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daas-loadgen: ")
+	url := flag.String("url", "http://127.0.0.1:8080", "daas-server base URL")
+	tenants := flag.Int("tenants", 100, "concurrent tenant streams")
+	snapshots := flag.Int("snapshots", 200, "snapshots per tenant")
+	batch := flag.Int("batch", 50, "snapshots per request")
+	concurrency := flag.Int("concurrency", 0, "streams in flight at once (0 = tenants, capped at 512)")
+	minRate := flag.Float64("min-rate", 0, "fail unless sustained snapshots/sec meets this floor (0 = no gate)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := serve.RunLoad(ctx, serve.LoadSpec{
+		BaseURL:     *url,
+		Tenants:     *tenants,
+		Snapshots:   *snapshots,
+		Batch:       *batch,
+		Concurrency: *concurrency,
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Errors > 0 {
+		log.Fatalf("%d requests rejected", res.Errors)
+	}
+	if res.Accepted != res.Snapshots {
+		log.Fatalf("accepted %d of %d snapshots", res.Accepted, res.Snapshots)
+	}
+	if *minRate > 0 && res.SnapshotsPerSec < *minRate {
+		log.Fatalf("sustained %.0f snapshots/sec, floor is %.0f", res.SnapshotsPerSec, *minRate)
+	}
+}

@@ -95,9 +95,14 @@ func main() {
 	if *reference {
 		mode = "reference"
 	}
+	// Guard the rate against a sub-resolution elapsed (tiny runs on a
+	// coarse clock): report 0 rather than +Inf/NaN.
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(*tenants**intervals) / s
+	}
 	fmt.Printf("cluster %s: %d tenants x %d intervals, %d workers: %s (%.0f tenant-intervals/s)\n",
-		mode, *tenants, *intervals, *workers, elapsed.Round(time.Millisecond),
-		float64(*tenants**intervals)/elapsed.Seconds())
+		mode, *tenants, *intervals, *workers, elapsed.Round(time.Millisecond), rate)
 	fmt.Printf("  migrations %d, refusals %d, peak cluster CPU %.2f\n",
 		res.Migrations, res.Refusals, res.PeakClusterCPUFrac)
 }

@@ -1,0 +1,96 @@
+// Command daas-server runs the autoscaler as a service: a long-running
+// HTTP daemon that ingests per-tenant telemetry snapshots, drives each
+// tenant's control loop, and persists every decision and billing
+// line-item to an append-only, checksummed ledger (one file per tenant
+// under -ledger-dir).
+//
+// API:
+//
+//	POST /v1/tenants/{id}/telemetry   ingest snapshots (idempotent by seq)
+//	GET  /v1/tenants/{id}/decisions   replay the decision trail [?since=N&limit=N]
+//	GET  /v1/tenants/{id}/bill        replay the billing line-items
+//	GET  /healthz                     liveness
+//	GET  /metrics                     ingest/decision/ledger counters
+//
+// SIGINT/SIGTERM drains gracefully: in-flight requests finish, every
+// tenant's reorder buffer is flushed through its loop, and every ledger
+// is synced and closed. A restarted server resumes each tenant's ingest
+// watermark from its ledger.
+//
+// Usage:
+//
+//	daas-server [-addr :8080] [-ledger-dir DIR] [-goal-ms G] [-seed S]
+//	            [-reorder-window N] [-rate R] [-burst B] [-sync-every N]
+//	            [-max-tenants N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"daasscale/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daas-server: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	ledgerDir := flag.String("ledger-dir", "ledgers", "directory for per-tenant decision ledgers")
+	goalMs := flag.Float64("goal-ms", serve.DefaultGoalMs, "P95 latency goal handed to each tenant's auto-scaler")
+	seed := flag.Int64("seed", 42, "service seed; per-tenant streams derive from it deterministically")
+	reorderWindow := flag.Int("reorder-window", serve.DefaultReorderWindow, "max out-of-order snapshots buffered per tenant before gaps are decided as withheld")
+	rate := flag.Float64("rate", 0, "per-tenant ingest rate limit in snapshots/sec (0 = unlimited)")
+	burst := flag.Int("burst", serve.DefaultBurst, "rate-limiter bucket size")
+	syncEvery := flag.Int("sync-every", 1, "ledger group-commit stride: fsync every N records (1 = every record; <0 = once per ingest request)")
+	maxTenants := flag.Int("max-tenants", 0, "cap on concurrently served tenants (0 = unlimited)")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		LedgerDir:     *ledgerDir,
+		GoalMs:        *goalMs,
+		Seed:          *seed,
+		ReorderWindow: *reorderWindow,
+		RatePerSec:    *rate,
+		Burst:         *burst,
+		SyncEvery:     *syncEvery,
+		MaxTenants:    *maxTenants,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutdown signal received, draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s (ledgers in %s)", *addr, *ledgerDir)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// HTTP is quiesced; flush every tenant pipeline and close the ledgers.
+	if err := srv.Close(); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

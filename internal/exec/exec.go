@@ -64,7 +64,9 @@ type Progress struct {
 	Workers int
 	// Elapsed is the wall time since the pool started its first task.
 	Elapsed time.Duration
-	// TasksPerSec is Done divided by Elapsed.
+	// TasksPerSec is Done divided by Elapsed; zero (never NaN/Inf) when
+	// the pool has not started a task yet, so progress hooks and reports
+	// can render a first snapshot without guarding.
 	TasksPerSec float64
 	// P50 and P95 are per-task wall-time quantiles over a sliding window of
 	// recent tasks.
@@ -266,6 +268,8 @@ func (p *Pool) Stats() Progress {
 	if !start.IsZero() {
 		pr.Elapsed = time.Since(start)
 	}
+	// Zero-elapsed guard: before the first task starts (or if the clock
+	// has not advanced) the rates stay 0 instead of dividing to NaN/Inf.
 	if pr.Elapsed > 0 {
 		pr.TasksPerSec = float64(pr.Done) / pr.Elapsed.Seconds()
 		pr.WorkerUtilization = float64(p.busyNs.Load()) /

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
@@ -266,5 +267,32 @@ func TestTaskTimeoutNotTriggeredByFastTasks(t *testing.T) {
 		func(ctx context.Context, i int) error { return ctx.Err() })
 	if err != nil {
 		t.Fatalf("fast tasks must pass under the watchdog: %v", err)
+	}
+}
+
+// TestStatsBeforeFirstTask: a Stats snapshot taken before the pool ever
+// ran a task must be all-zero and finite — no NaN/Inf from dividing by a
+// zero Elapsed. Progress printers render the first snapshot unguarded.
+func TestStatsBeforeFirstTask(t *testing.T) {
+	p := NewPool(Options{Workers: 4})
+	st := p.Stats()
+	if st.Done != 0 || st.Total != 0 || st.Failed != 0 || st.Elapsed != 0 {
+		t.Fatalf("fresh pool stats %+v", st)
+	}
+	for name, v := range map[string]float64{
+		"TasksPerSec":       st.TasksPerSec,
+		"WorkerUtilization": st.WorkerUtilization,
+	} {
+		if v != 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v before first task, want exactly 0", name, v)
+		}
+	}
+	// And after an empty batch (n = 0): still finite zeros.
+	if err := p.Run(context.Background(), 0, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if math.IsNaN(st.TasksPerSec) || math.IsInf(st.TasksPerSec, 0) {
+		t.Fatalf("TasksPerSec = %v after empty batch", st.TasksPerSec)
 	}
 }

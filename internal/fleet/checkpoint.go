@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"path/filepath"
+
+	"daasscale/internal/fsio"
 )
 
 // Checkpoint files let a 100k–1M-tenant run be killed and resumed without
@@ -53,9 +54,13 @@ func fingerprintFor(kind string, dimA, dimB int, seed int64, shardSize int, alph
 
 // writeCheckpoint atomically replaces path with a checkpoint holding the
 // fingerprint, the index of the next shard to run, and payload. The write
-// goes to a temp file in the same directory and is renamed into place, so a
-// kill mid-write leaves either the old checkpoint or the new one — never a
-// torn file.
+// goes through fsio.WriteFileAtomic — temp file in the same directory,
+// fsync'd *before* the rename, directory fsync'd after — so a kill or
+// power loss mid-write leaves either the old checkpoint or the complete
+// new one, never a zero-length or torn file. (The earlier rename-only
+// implementation was atomic against process kills but not against power
+// loss: without the data fsync the rename could land pointing at
+// unsynced, partial contents.)
 func writeCheckpoint(path string, fp checkpointFingerprint, nextShard int, payload []byte) error {
 	fpb := fp.encode()
 	buf := make([]byte, 0, 16+len(fpb)+len(payload))
@@ -65,23 +70,7 @@ func writeCheckpoint(path string, fp checkpointFingerprint, nextShard int, paylo
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(nextShard))
 	buf = append(buf, payload...)
 
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("fleet: checkpoint: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("fleet: checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("fleet: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsio.WriteFileAtomic(path, buf, 0o644); err != nil {
 		return fmt.Errorf("fleet: checkpoint: %w", err)
 	}
 	return nil

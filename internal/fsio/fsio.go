@@ -1,0 +1,73 @@
+// Package fsio holds the crash-durable file-write primitives shared by
+// every on-disk artifact of the system: fleet checkpoints and the decision
+// ledger. The contract they need is the same one databases need from their
+// log device — after a power loss, a reader finds either the old bytes or
+// the new bytes, never a torn mixture — and getting it requires more than
+// write+rename: the data must be fsync'd before the rename (or the rename
+// can land pointing at a zero-length or partial file), and the directory
+// must be fsync'd after it (or the rename itself can be lost).
+package fsio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic atomically replaces path with data. The write goes to a
+// temp file in the same directory, the temp file is fsync'd *before* the
+// rename (so the rename can never install unsynced — possibly empty or
+// partial — contents), and the directory is fsync'd after it (so the
+// rename itself survives a crash). A kill at any point leaves either the
+// old file or the complete new one.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	// The fsync before the rename is the load-bearing step: without it the
+	// filesystem may persist the rename before the data, and a crash then
+	// exposes a truncated file under the final name.
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, persisting directory-level operations
+// (renames, creates) against power loss. Filesystems that refuse to fsync
+// directories (some network mounts) report success — the data fsync has
+// already happened by the time callers get here, and refusing to sync a
+// directory is the mount telling us it has no stronger primitive.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsio: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncError(err) {
+		return fmt.Errorf("fsio: sync %s: %w", dir, err)
+	}
+	return nil
+}

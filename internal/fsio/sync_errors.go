@@ -1,0 +1,17 @@
+package fsio
+
+import (
+	"errors"
+	"syscall"
+)
+
+// ignorableSyncError reports whether a directory-fsync failure means "this
+// filesystem has no such operation" rather than "your data is at risk".
+// Network and FUSE mounts commonly return EINVAL or ENOTSUP for fsync on a
+// directory handle; treating those as fatal would make checkpoints and
+// ledgers unusable there while buying no durability.
+func ignorableSyncError(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOTTY)
+}

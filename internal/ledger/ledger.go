@@ -1,0 +1,312 @@
+// Package ledger is the billing-grade decision log behind the serving
+// daemon: an append-only, fsync'd, checksummed file of every
+// loop.DecisionRecord and billing line-item a tenant's control loop emits.
+// The design goal is the metering discipline of a production DBaaS —
+// "make billing boring, deterministic, and explainable" — which reduces
+// to three properties:
+//
+//   - Append-only with per-record checksums: a record, once synced, is
+//     immutable, and any torn or bit-rotted tail is detected rather than
+//     parsed.
+//   - Deterministic encoding: the same record always produces the same
+//     bytes (integers little-endian, floats as exact IEEE bits), so a
+//     month of decisions and charges is byte-reproducibly re-derivable
+//     from the log alone — Replay over a recorded run equals the live
+//     Collector's records exactly.
+//   - Crash recovery to the last good record: OpenWriter scans an
+//     existing file, truncates an incomplete or checksum-failing tail
+//     (the bytes a crash mid-append could leave), and resumes appending
+//     after the last intact record.
+//
+// File layout:
+//
+//	header : magic "DLG1" (u32 LE) | version (u32 LE)
+//	frame  : kind (u8) | payloadLen (u32 LE) | payload | crc32c (u32 LE)
+//
+// The CRC is Castagnoli over kind|payloadLen|payload, so a frame whose
+// length field itself was torn fails the checksum instead of mis-framing
+// the rest of the file.
+package ledger
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"daasscale/internal/fsio"
+	"daasscale/internal/loop"
+)
+
+const (
+	// Magic identifies a ledger file ("DLG1" little-endian).
+	Magic = uint32(0x31474C44)
+	// Version is the current format version.
+	Version = uint32(1)
+	// headerLen is the byte length of the file header.
+	headerLen = 8
+	// frameOverhead is the per-record framing cost: kind, length, CRC.
+	frameOverhead = 1 + 4 + 4
+	// maxPayload bounds a single record payload; a length field beyond it
+	// is treated as corruption rather than an allocation request.
+	maxPayload = 1 << 24
+)
+
+// Record kinds.
+const (
+	// KindDecision frames an encoded loop.DecisionRecord.
+	KindDecision = byte(1)
+	// KindLineItem frames an encoded billing LineItem.
+	KindLineItem = byte(2)
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// LineItem is one interval's charge on a tenant's bill: which container
+// the tenant ran in and what it cost. Line items are derived from
+// decision records at append time, so the bill and the decision trail can
+// never disagree about an interval.
+type LineItem struct {
+	// Tenant is the billed tenant.
+	Tenant string `json:"tenant"`
+	// Interval is the billing interval charged.
+	Interval int `json:"interval"`
+	// Container is the SKU the tenant ran in during the interval.
+	Container string `json:"container"`
+	// Cost is the charge, in the catalog's abstract cost units.
+	Cost float64 `json:"cost"`
+}
+
+// LineItemFor derives the billing line-item of one decision record: the
+// interval is billed at the snapshot's container and cost (for withheld
+// serving intervals the server synthesizes a snapshot carrying the
+// running container's list price, so gaps still bill).
+func LineItemFor(r loop.DecisionRecord) LineItem {
+	return LineItem{
+		Tenant:    r.Tenant,
+		Interval:  r.Interval,
+		Container: r.Snapshot.Container,
+		Cost:      r.Snapshot.Cost,
+	}
+}
+
+// WriterOption configures OpenWriter.
+type WriterOption func(*Writer)
+
+// WithSyncEvery sets the group-commit stride: the writer fsyncs after
+// every n appended records. 1 (the default) syncs every record — strict
+// durability; larger strides amortize the fsync over a batch at the cost
+// of the unsynced tail on power loss (the tail is detected and truncated
+// on reopen, never misread). n ≤ 0 disables count-driven syncs entirely:
+// the caller owns Sync, typically once per ingest request.
+func WithSyncEvery(n int) WriterOption {
+	return func(w *Writer) { w.syncEvery = n }
+}
+
+// Writer appends checksummed records to a ledger file. It is not
+// goroutine-safe; the serving daemon gives each tenant its own ledger and
+// serializes appends under the tenant's lock.
+type Writer struct {
+	f         *os.File
+	bw        *bufio.Writer
+	path      string
+	syncEvery int
+	pending   int
+
+	records   int64
+	bytes     int64
+	recovered int64
+	syncs     int64
+}
+
+// OpenWriter opens (or creates) the ledger at path for appending. An
+// existing file is scanned first: a torn tail — an incomplete frame or a
+// checksum mismatch, as left by a crash mid-append — is truncated away so
+// appending resumes after the last intact record. A file that is not a
+// ledger (bad magic or version) is an error, never overwritten.
+func OpenWriter(path string, opts ...WriterOption) (*Writer, error) {
+	w := &Writer{path: path, syncEvery: 1}
+	for _, o := range opts {
+		o(w)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	if st.Size() == 0 {
+		var hdr [headerLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:], Magic)
+		binary.LittleEndian.PutUint32(hdr[4:], Version)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %w", err)
+		}
+		if err := fsio.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.bytes = headerLen
+	} else {
+		data, err := io.ReadAll(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %w", err)
+		}
+		good, records, err := scanFrames(data, nil)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %s: %w", path, err)
+		}
+		if good < int64(len(data)) {
+			// Crash recovery: drop the torn tail and persist the cut so a
+			// second crash cannot resurrect it.
+			w.recovered = int64(len(data)) - good
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("ledger: truncating torn tail of %s: %w", path, err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("ledger: %w", err)
+			}
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %w", err)
+		}
+		w.records = records
+		w.bytes = good
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	return w, nil
+}
+
+// appendFrame writes one framed record and applies the sync policy.
+func (w *Writer) appendFrame(kind byte, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("ledger: record payload of %d bytes exceeds the %d-byte frame limit", len(payload), maxPayload)
+	}
+	var head [5]byte
+	head[0] = kind
+	binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
+	crc := crc32.Update(0, crcTable, head[:])
+	crc = crc32.Update(crc, crcTable, payload)
+	if _, err := w.bw.Write(head[:]); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := w.bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	w.records++
+	w.bytes += int64(frameOverhead + len(payload))
+	w.pending++
+	if w.syncEvery > 0 && w.pending >= w.syncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// AppendDecision appends one decision record.
+func (w *Writer) AppendDecision(r loop.DecisionRecord) error {
+	return w.appendFrame(KindDecision, EncodeDecision(&r))
+}
+
+// AppendLineItem appends one billing line-item.
+func (w *Writer) AppendLineItem(it LineItem) error {
+	return w.appendFrame(KindLineItem, EncodeLineItem(&it))
+}
+
+// Sync flushes buffered frames and fsyncs the file: every record appended
+// so far is durable when Sync returns.
+func (w *Writer) Sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	w.pending = 0
+	w.syncs++
+	return nil
+}
+
+// Close syncs and closes the file.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	syncErr := w.Sync()
+	closeErr := w.f.Close()
+	w.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("ledger: %w", closeErr)
+	}
+	return nil
+}
+
+// Path returns the ledger file path.
+func (w *Writer) Path() string { return w.path }
+
+// Records returns the number of records in the ledger, including those
+// recovered from a previous writer's file.
+func (w *Writer) Records() int64 { return w.records }
+
+// Bytes returns the ledger's current byte length (buffered appends
+// included).
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// RecoveredBytes reports how many torn-tail bytes OpenWriter truncated
+// away (0 for a clean open).
+func (w *Writer) RecoveredBytes() int64 { return w.recovered }
+
+// Syncs returns the number of fsync batches issued.
+func (w *Writer) Syncs() int64 { return w.syncs }
+
+// Recorder adapts a Writer to the loop.Recorder interface: every
+// DecisionRecord is appended together with its derived billing line-item,
+// so the decision trail and the bill advance in lockstep. loop.Recorder
+// cannot return errors; the first append failure is latched and must be
+// checked via Err after the run (the serving daemon checks it after every
+// ingest batch).
+type Recorder struct {
+	// W is the destination ledger.
+	W *Writer
+
+	err error
+}
+
+// Record implements loop.Recorder.
+func (r *Recorder) Record(d loop.DecisionRecord) {
+	if r.err != nil {
+		return
+	}
+	if err := r.W.AppendDecision(d); err != nil {
+		r.err = err
+		return
+	}
+	r.err = r.W.AppendLineItem(LineItemFor(d))
+}
+
+// Err returns the first append error, if any.
+func (r *Recorder) Err() error { return r.err }

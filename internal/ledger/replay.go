@@ -1,0 +1,159 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"daasscale/internal/loop"
+)
+
+// Entry is one replayed ledger record in file order. Exactly one of
+// Decision/Item is non-nil, per Kind.
+type Entry struct {
+	// Kind is the frame kind (KindDecision or KindLineItem).
+	Kind byte
+	// Decision is the decoded decision record (Kind == KindDecision).
+	Decision *loop.DecisionRecord
+	// Item is the decoded billing line-item (Kind == KindLineItem).
+	Item *LineItem
+}
+
+// Log is the full replayed contents of one ledger file.
+type Log struct {
+	// Entries holds every intact record in append order.
+	Entries []Entry
+	// GoodBytes is the byte offset of the end of the last intact record.
+	GoodBytes int64
+	// Truncated reports whether bytes past GoodBytes were ignored — the
+	// torn tail a crash mid-append leaves. The intact prefix is still
+	// fully usable; OpenWriter removes the tail when it next appends.
+	Truncated bool
+}
+
+// Decisions extracts the decision records in append order.
+func (l *Log) Decisions() []loop.DecisionRecord {
+	var out []loop.DecisionRecord
+	for _, e := range l.Entries {
+		if e.Decision != nil {
+			out = append(out, *e.Decision)
+		}
+	}
+	return out
+}
+
+// Items extracts the billing line-items in append order.
+func (l *Log) Items() []LineItem {
+	var out []LineItem
+	for _, e := range l.Entries {
+		if e.Item != nil {
+			out = append(out, *e.Item)
+		}
+	}
+	return out
+}
+
+// TotalCost sums every line-item charge — the bill the ledger supports.
+func (l *Log) TotalCost() float64 {
+	var t float64
+	for _, e := range l.Entries {
+		if e.Item != nil {
+			t += e.Item.Cost
+		}
+	}
+	return t
+}
+
+// LastDecisionInterval returns the interval of the last decision record,
+// or -1 when the log holds none. The serving daemon resumes a tenant's
+// ingest watermark from it after a restart.
+func (l *Log) LastDecisionInterval() int {
+	for i := len(l.Entries) - 1; i >= 0; i-- {
+		if l.Entries[i].Decision != nil {
+			return l.Entries[i].Decision.Interval
+		}
+	}
+	return -1
+}
+
+// scanFrames walks the framed region of a ledger image, calling visit (when
+// non-nil) with each intact frame's kind and payload. It returns the byte
+// offset just past the last intact frame and the frame count. A bad header
+// is an error; a torn or checksum-failing tail simply ends the scan — the
+// returned offset is the recovery point.
+func scanFrames(data []byte, visit func(kind byte, payload []byte) error) (good int64, frames int64, err error) {
+	if len(data) < headerLen {
+		return 0, 0, fmt.Errorf("file is shorter than a ledger header")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != Magic {
+		return 0, 0, fmt.Errorf("not a ledger file (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != Version {
+		return 0, 0, fmt.Errorf("ledger format version %d, this build reads %d", v, Version)
+	}
+	off := int64(headerLen)
+	for {
+		rest := data[off:]
+		if len(rest) < frameOverhead {
+			return off, frames, nil // clean end or torn frame head
+		}
+		kind := rest[0]
+		plen := binary.LittleEndian.Uint32(rest[1:])
+		if plen > maxPayload || int64(len(rest)) < int64(frameOverhead)+int64(plen) {
+			return off, frames, nil // torn payload (or torn length field)
+		}
+		payload := rest[5 : 5+plen]
+		crc := crc32.Update(0, crcTable, rest[:5])
+		crc = crc32.Update(crc, crcTable, payload)
+		if binary.LittleEndian.Uint32(rest[5+plen:]) != crc {
+			return off, frames, nil // checksum mismatch: treat as torn tail
+		}
+		if visit != nil {
+			if err := visit(kind, payload); err != nil {
+				return off, frames, err
+			}
+		}
+		off += int64(frameOverhead) + int64(plen)
+		frames++
+	}
+}
+
+// Replay reads a ledger file back into memory: every intact record, in
+// append order, byte-faithfully decoded. It is the inverse of the Writer —
+// for any recorded run, Replay(path).Decisions() equals the live
+// Collector's records and the line-items re-derive the bill exactly. A
+// torn tail is reported via Log.Truncated, not an error; an unreadable or
+// non-ledger file is an error.
+func Replay(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	log := &Log{}
+	good, _, err := scanFrames(data, func(kind byte, payload []byte) error {
+		switch kind {
+		case KindDecision:
+			r, err := DecodeDecision(payload)
+			if err != nil {
+				return err
+			}
+			log.Entries = append(log.Entries, Entry{Kind: kind, Decision: &r})
+		case KindLineItem:
+			it, err := DecodeLineItem(payload)
+			if err != nil {
+				return err
+			}
+			log.Entries = append(log.Entries, Entry{Kind: kind, Item: &it})
+		default:
+			return fmt.Errorf("ledger: unknown record kind %d (written by a newer version?)", kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %s: %w", path, err)
+	}
+	log.GoodBytes = good
+	log.Truncated = good < int64(len(data))
+	return log, nil
+}

@@ -399,6 +399,40 @@ func (lp *TenantLoop[T]) Apply(interval int) error {
 	return nil
 }
 
+// StepSnapshot runs one full decision step against an externally
+// collected snapshot — the serving path, where telemetry arrives over the
+// wire instead of from a loop-owned engine. The loop's engine and
+// generator are never touched (Config.Engine may be nil when
+// SetMemoryTarget is off), and the wire channel's fault handling —
+// dedup, reordering, sanitization — is the caller's job, so the loop's
+// own injector is bypassed: observed=true feeds the snapshot to the
+// decider exactly once; observed=false is a withheld interval (the
+// ingest gap a bounded reorder window gave up waiting on) and yields the
+// hold decision. Everything downstream — decision, apply, reconcile,
+// DecisionRecord — is the same code path the simulation runners audit.
+func (lp *TenantLoop[T]) StepSnapshot(interval int, snap telemetry.Snapshot, observed bool) error {
+	lp.snap = snap
+	lp.totalCost += snap.Cost
+	lp.actual = lp.cfg.Applier.Actual()
+
+	lp.preFaults, lp.preAct = faults.Stats{}, actuate.Stats{}
+	if lp.cfg.Recorder != nil && lp.act != nil {
+		lp.preAct = lp.act.Stats()
+	}
+	lp.delivered = 0
+	if observed {
+		lp.cfg.Decider.Observe(snap)
+		lp.delivered = 1
+	}
+	lp.observed = observed
+	lp.dec = lp.cfg.Decider.Decide(StepInfo{
+		Interval: interval,
+		Observed: observed,
+		Faulted:  false,
+	}, snap, lp.actual)
+	return lp.Apply(interval)
+}
+
 // DecideApply runs the decision phase of the interval snapshotted by the
 // last RunTicks — Decide then Apply, back to back. Single-tenant loops
 // (and cluster schedules with nothing to parallelize) use this

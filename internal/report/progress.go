@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"daasscale/internal/exec"
+)
+
+// Progress renders executor throughput metrics as a single in-place
+// (\r-overwritten) terminal line — the shared implementation behind the
+// daas-fleet and daas-experiments -progress flags, which used to carry
+// diverging copies of it. Every update pads to the widest line printed so
+// far, so a shrinking line never leaves stale characters behind, and
+// Finish terminates the line with a newline so subsequent output does not
+// land on top of the last snapshot.
+//
+// Update may fire concurrently from several workers; each call writes one
+// self-contained line, which keeps the output readable without locking.
+type Progress struct {
+	w     io.Writer
+	unit  string
+	round time.Duration
+
+	width   atomic.Int64
+	printed atomic.Bool
+}
+
+// NewProgress builds a printer writing to w. unit labels the task counter
+// ("shards", "tasks"); round is the display granularity of the per-task
+// latency quantiles.
+func NewProgress(w io.Writer, unit string, round time.Duration) *Progress {
+	return &Progress{w: w, unit: unit, round: round}
+}
+
+// Update renders one metrics snapshot over the previous one.
+func (p *Progress) Update(st exec.Progress) {
+	line := fmt.Sprintf("%d/%d %s  %.1f/s  p50 %s  p95 %s  util %.0f%%",
+		st.Done, st.Total, p.unit, st.TasksPerSec,
+		st.P50.Round(p.round), st.P95.Round(p.round),
+		st.WorkerUtilization*100)
+	width := int64(len(line))
+	for {
+		old := p.width.Load()
+		if width <= old {
+			width = old
+			break
+		}
+		if p.width.CompareAndSwap(old, width) {
+			break
+		}
+	}
+	fmt.Fprintf(p.w, "\r%-*s", int(width), line)
+	p.printed.Store(true)
+}
+
+// Hook adapts Update to the executor's OnProgress signature.
+func (p *Progress) Hook() func(exec.Progress) { return p.Update }
+
+// Finish ends the in-place line with a newline, leaving the last snapshot
+// visible and the cursor on a fresh line. A no-op if nothing was printed
+// (or if already finished), so it is safe to call after every phase.
+func (p *Progress) Finish() {
+	if p.printed.Swap(false) {
+		fmt.Fprintln(p.w)
+	}
+}

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"daasscale/internal/exec"
+)
+
+func TestProgressPadsShrinkingLines(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "tasks", time.Millisecond)
+
+	p.Update(exec.Progress{Done: 12345, Total: 99999, TasksPerSec: 1234.5})
+	long := buf.Len() - 1 // minus the leading \r
+	buf.Reset()
+	p.Update(exec.Progress{Done: 1, Total: 2})
+	short := buf.String()
+	if !strings.HasPrefix(short, "\r") {
+		t.Fatalf("line not \\r-anchored: %q", short)
+	}
+	if got := len(short) - 1; got != long {
+		t.Fatalf("shrinking line printed %d chars, want padded to %d", got, long)
+	}
+	if strings.HasSuffix(short, "%") {
+		t.Fatalf("shrinking line not padded: %q", short)
+	}
+}
+
+func TestProgressFinishTerminatesOnce(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "tasks", time.Millisecond)
+
+	// Finish before any update: nothing to terminate.
+	p.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("finish with no output wrote %q", buf.String())
+	}
+
+	p.Update(exec.Progress{Done: 1, Total: 2})
+	buf.Reset()
+	p.Finish()
+	p.Finish() // idempotent
+	if got := buf.String(); got != "\n" {
+		t.Fatalf("finish wrote %q, want one newline", got)
+	}
+}

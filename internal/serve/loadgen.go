@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+)
+
+// SynthSnapshot synthesizes one interval of plausible tenant telemetry:
+// a per-tenant phase-shifted sinusoidal load swing wide enough that the
+// auto-scaler changes containers over the stream. Deterministic in
+// (tenant, i) alone, so load-generated runs are reproducible.
+func SynthSnapshot(tenant string, i int) telemetry.Snapshot {
+	phase := float64(len(tenant)%7) * 0.9
+	load := 80 + 60*math.Sin(float64(i)/5+phase)
+	util := 0.3 + 0.4*(load/140)
+	return telemetry.Snapshot{
+		Interval:        i,
+		Container:       "B2",
+		Step:            2,
+		Cost:            2,
+		Utilization:     resource.Vector{util, util * 0.8, util * 0.5, util * 0.3},
+		UtilizationPeak: resource.Vector{util * 1.2, util, util * 0.7, util * 0.4},
+		WaitMs: [telemetry.NumWaitClasses]float64{
+			load * 12, load * 5, load * 3, load, 40, 10, 5,
+		},
+		AvgLatencyMs:   20 + load/4,
+		P95LatencyMs:   60 + load,
+		Transactions:   load * 300,
+		OfferedRPS:     load,
+		MemoryUsedMB:   700 + load,
+		PhysicalReads:  load * 8,
+		PhysicalWrites: load * 2,
+	}
+}
+
+// LoadSpec configures RunLoad: Tenants concurrent streams, each sending
+// Snapshots sequential intervals of synthetic telemetry in batches of
+// Batch snapshots per POST.
+type LoadSpec struct {
+	// BaseURL is the daemon's root URL (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Tenants is the number of tenant streams.
+	Tenants int
+	// Snapshots is the number of intervals each tenant sends.
+	Snapshots int
+	// Batch is the number of snapshots per request (0 = 50).
+	Batch int
+	// Concurrency bounds the streams in flight at once (0 = Tenants,
+	// capped at 512 to stay within default socket limits).
+	Concurrency int
+	// Client is the HTTP client (nil = a pooled default).
+	Client *http.Client
+}
+
+// LoadResult is RunLoad's aggregate outcome.
+type LoadResult struct {
+	// Tenants and Snapshots echo the spec.
+	Tenants   int   `json:"tenants"`
+	Snapshots int64 `json:"snapshots"`
+	// Accepted is the snapshots the server acknowledged as accepted.
+	Accepted int64 `json:"accepted"`
+	// Requests is the POSTs issued; Errors counts transport failures and
+	// non-200 responses (rate-limit 429s land here too).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// DurationSeconds is the wall-clock of the whole run.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// SnapshotsPerSec is the sustained ingest throughput.
+	SnapshotsPerSec float64 `json:"snapshots_per_sec"`
+	// RequestsPerSec is the sustained request throughput.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
+// RunLoad drives concurrent tenant telemetry streams against a running
+// daemon and reports the sustained ingest throughput. The first transport
+// error cancels the run; server-side rejections are counted, not fatal.
+func RunLoad(ctx context.Context, spec LoadSpec) (LoadResult, error) {
+	if spec.Tenants <= 0 || spec.Snapshots <= 0 {
+		return LoadResult{}, fmt.Errorf("serve: load spec needs Tenants and Snapshots > 0")
+	}
+	batch := spec.Batch
+	if batch <= 0 {
+		batch = 50
+	}
+	conc := spec.Concurrency
+	if conc <= 0 || conc > spec.Tenants {
+		conc = spec.Tenants
+	}
+	if conc > 512 {
+		conc = 512
+	}
+	client := spec.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        conc + 16,
+				MaxIdleConnsPerHost: conc + 16,
+			},
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		accepted, requests, errors int64
+		firstErr                   error
+		errOnce                    sync.Once
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tn := range work {
+				id := fmt.Sprintf("t%05d", tn)
+				url := spec.BaseURL + "/v1/tenants/" + id + "/telemetry"
+				for off := 0; off < spec.Snapshots; off += batch {
+					if ctx.Err() != nil {
+						return
+					}
+					n := batch
+					if off+n > spec.Snapshots {
+						n = spec.Snapshots - off
+					}
+					body := struct {
+						Batch []wireSnapshot `json:"batch"`
+					}{Batch: make([]wireSnapshot, n)}
+					for i := 0; i < n; i++ {
+						body.Batch[i] = wireSnapshot{Snapshot: SynthSnapshot(id, off+i)}
+					}
+					buf, err := json.Marshal(body)
+					if err != nil {
+						fail(err)
+						return
+					}
+					req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(buf))
+					if err != nil {
+						fail(err)
+						return
+					}
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := client.Do(req)
+					if err != nil {
+						if ctx.Err() == nil {
+							fail(err)
+						}
+						return
+					}
+					atomic.AddInt64(&requests, 1)
+					var reply ingestReply
+					decErr := json.NewDecoder(resp.Body).Decode(&reply)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK || decErr != nil {
+						atomic.AddInt64(&errors, 1)
+						continue
+					}
+					atomic.AddInt64(&accepted, int64(reply.Accepted))
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	for tn := 0; tn < spec.Tenants; tn++ {
+		select {
+		case work <- tn:
+		case <-ctx.Done():
+			tn = spec.Tenants
+		}
+	}
+	close(work)
+	wg.Wait()
+	dur := time.Since(start)
+
+	res := LoadResult{
+		Tenants:         spec.Tenants,
+		Snapshots:       int64(spec.Tenants) * int64(spec.Snapshots),
+		Accepted:        accepted,
+		Requests:        requests,
+		Errors:          errors,
+		DurationSeconds: dur.Seconds(),
+	}
+	if s := dur.Seconds(); s > 0 {
+		res.SnapshotsPerSec = float64(accepted) / s
+		res.RequestsPerSec = float64(requests) / s
+	}
+	return res, firstErr
+}

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRunLoadSmallFleet(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.SyncEvery = -1 })
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	res, err := RunLoad(context.Background(), LoadSpec{
+		BaseURL:   hs.URL,
+		Tenants:   8,
+		Snapshots: 40,
+		Batch:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Accepted != 8*40 {
+		t.Fatalf("load result %+v", res)
+	}
+
+	// Every stream's decisions landed, in order, one ledger per tenant.
+	var m MetricsSnapshot
+	get(t, s, "/metrics", &m)
+	if m.Tenants != 8 || m.IngestedSnapshots != 8*40 || m.Decisions != 8*40 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestRunLoadValidatesSpec(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"daasscale/internal/stats"
+)
+
+// metrics aggregates serving counters. Counters are monotonic over the
+// server's lifetime; the /metrics endpoint snapshots them together with
+// point-in-time gauges (tenant count, reorder-buffer depth, ledger size).
+type metrics struct {
+	mu    sync.Mutex
+	start time.Time
+
+	requests    int64
+	errors      int64
+	ingested    int64
+	duplicates  int64
+	buffered    int64
+	gaps        int64
+	rateLimited int64
+	sanitized   int64
+	decisions   int64
+	decLat      *stats.Sketch
+	decLatSumNs int64
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{start: now, decLat: stats.NewSketch(0.01)}
+}
+
+func (m *metrics) addRequest() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addError() {
+	m.mu.Lock()
+	m.errors++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addSanitized(n int64) {
+	m.mu.Lock()
+	m.sanitized += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) addIngest(c ingestCounts) {
+	m.mu.Lock()
+	m.ingested += int64(c.Accepted)
+	m.duplicates += int64(c.Duplicates)
+	m.buffered += int64(c.Buffered)
+	m.gaps += int64(c.Gaps)
+	m.rateLimited += int64(c.RateLimited)
+	m.mu.Unlock()
+}
+
+// observeDecision records one decision's end-to-end latency (step through
+// ledger append) in the quantile sketch.
+func (m *metrics) observeDecision(d time.Duration) {
+	m.mu.Lock()
+	m.decisions++
+	m.decLat.Add(float64(d.Nanoseconds()) / 1e6)
+	m.decLatSumNs += d.Nanoseconds()
+	m.mu.Unlock()
+}
+
+// latencyMetrics summarizes the decision-latency sketch.
+type latencyMetrics struct {
+	Count int64   `json:"count"`
+	AvgMs float64 `json:"avg_ms"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// ledgerMetrics aggregates the tenants' ledger writers.
+type ledgerMetrics struct {
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	Syncs   int64 `json:"syncs"`
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds     float64        `json:"uptime_seconds"`
+	Tenants           int            `json:"tenants"`
+	Draining          bool           `json:"draining"`
+	HTTPRequests      int64          `json:"http_requests"`
+	HTTPErrors        int64          `json:"http_errors"`
+	IngestedSnapshots int64          `json:"ingested_snapshots"`
+	IngestPerSec      float64        `json:"ingest_per_sec"`
+	Duplicates        int64          `json:"duplicates"`
+	ReorderBuffered   int64          `json:"reorder_buffered"`
+	ReorderDepth      int            `json:"reorder_buffer_depth"`
+	GapIntervals      int64          `json:"gap_intervals"`
+	RateLimited       int64          `json:"rate_limited"`
+	SanitizedFields   int64          `json:"sanitized_fields"`
+	Decisions         int64          `json:"decisions"`
+	DecisionLatency   latencyMetrics `json:"decision_latency"`
+	Ledger            ledgerMetrics  `json:"ledger"`
+}
+
+func (m *metrics) snapshot(now time.Time, tenants, depth int, draining bool) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	up := now.Sub(m.start).Seconds()
+	snap := MetricsSnapshot{
+		UptimeSeconds:     up,
+		Tenants:           tenants,
+		Draining:          draining,
+		HTTPRequests:      m.requests,
+		HTTPErrors:        m.errors,
+		IngestedSnapshots: m.ingested,
+		Duplicates:        m.duplicates,
+		ReorderBuffered:   m.buffered,
+		ReorderDepth:      depth,
+		GapIntervals:      m.gaps,
+		RateLimited:       m.rateLimited,
+		SanitizedFields:   m.sanitized,
+		Decisions:         m.decisions,
+	}
+	if up > 0 {
+		snap.IngestPerSec = float64(m.ingested) / up
+	}
+	if n := m.decLat.Count(); n > 0 {
+		snap.DecisionLatency = latencyMetrics{
+			Count: int64(n),
+			AvgMs: float64(m.decLatSumNs) / 1e6 / float64(n),
+			P50Ms: m.decLat.Quantile(0.50),
+			P95Ms: m.decLat.Quantile(0.95),
+			P99Ms: m.decLat.Quantile(0.99),
+			MaxMs: m.decLat.Max(),
+		}
+	}
+	return snap
+}

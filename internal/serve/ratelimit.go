@@ -1,0 +1,38 @@
+package serve
+
+import "time"
+
+// tokenBucket is a classic per-tenant token bucket: capacity `burst`
+// tokens, refilled at `rate` tokens/second, one token per ingested
+// snapshot. It is not goroutine-safe; callers hold the tenant lock. The
+// clock is passed in (the server's injectable now), so tests drive it
+// deterministically.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// allow refills for the elapsed time and takes one token if available.
+func (b *tokenBucket) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,489 @@
+// Package serve is the autoscaler-as-a-service layer: a long-running
+// ingestion daemon that accepts per-tenant telemetry snapshots over HTTP,
+// drives each tenant's loop.TenantLoop exactly as the simulation runners
+// do, and persists every decision and billing line-item to an append-only
+// per-tenant ledger (package ledger).
+//
+// The serving contract mirrors the paper's deployment shape — telemetry
+// counters flow from database nodes to a central scaling service — and
+// adds the realities a wire transport brings:
+//
+//   - Idempotency: each snapshot carries a sequence number (its billing
+//     interval). A sequence at or below the tenant's watermark is a
+//     duplicate and a no-op, so at-least-once senders are safe.
+//   - Bounded reordering: out-of-order future snapshots wait in a
+//     per-tenant reorder buffer. When the buffer exceeds its window the
+//     missing intervals are decided as withheld (the loop's hold decision,
+//     billed at the running container's list price) and the stream moves
+//     on — late data can delay decisions, never corrupt them.
+//   - Backpressure: a per-tenant token bucket sheds ingest load with 429s
+//     before it can queue unboundedly.
+//   - Durability: decisions are on disk (fsync'd, checksummed) before the
+//     ingest response is written, and a restarted server resumes each
+//     tenant's watermark from its ledger.
+//
+// Determinism carries over from the simulators: the decision sequence is
+// a pure function of the accepted snapshot sequence and the policy
+// configuration, so ledger.Replay over a recorded run reproduces the live
+// decisions byte-for-byte regardless of request batching, timing, or
+// server restarts.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"daasscale/internal/core"
+	"daasscale/internal/exec"
+	"daasscale/internal/ledger"
+	"daasscale/internal/loop"
+	"daasscale/internal/policy"
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+)
+
+// Defaults for zero-valued Config fields.
+const (
+	// DefaultGoalMs is the default P95 latency goal.
+	DefaultGoalMs = 100
+	// DefaultReorderWindow is the default per-tenant reorder-buffer bound.
+	DefaultReorderWindow = 16
+	// DefaultBurst is the default rate-limiter bucket size when a rate is
+	// set without an explicit burst.
+	DefaultBurst = 64
+)
+
+// tenantIDPattern constrains tenant IDs to ledger-filename-safe tokens.
+var tenantIDPattern = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$`)
+
+// Config assembles a Server.
+type Config struct {
+	// LedgerDir is the directory holding one append-only ledger per tenant
+	// (<id>.ledger). Required; created if missing.
+	LedgerDir string
+	// Catalog is the container catalog tenants scale over (nil =
+	// resource.DefaultCatalog).
+	Catalog *resource.Catalog
+	// GoalMs is the P95 latency goal handed to the default policy (0 =
+	// DefaultGoalMs). Ignored when NewPolicy is set.
+	GoalMs float64
+	// NewPolicy builds a tenant's policy; initial is the container the
+	// tenant starts (or, after a restart, resumes) in. Nil uses the
+	// default demand-driven auto-scaler.
+	NewPolicy func(tenantID string, initial resource.Container) (policy.Policy, error)
+	// Seed is the service's base seed. Each tenant's loop seed derives
+	// from it via exec.SplitSeedString, the same discipline the fleet
+	// runners use, so a tenant's decision stream is independent of tenant
+	// arrival order.
+	Seed int64
+	// ReorderWindow bounds the per-tenant reorder buffer (0 =
+	// DefaultReorderWindow). Once more than ReorderWindow future
+	// snapshots wait, the oldest gap is flushed as withheld intervals.
+	ReorderWindow int
+	// RatePerSec is the per-tenant ingest rate limit in snapshots/second
+	// (0 = unlimited).
+	RatePerSec float64
+	// Burst is the rate limiter's bucket size (0 = DefaultBurst).
+	Burst int
+	// SyncEvery is the ledger group-commit stride (0 = 1: fsync every
+	// record; n > 1 amortizes the fsync over n records; < 0 syncs once
+	// per ingest request).
+	SyncEvery int
+	// MaxTenants caps the tenant map (0 = unlimited). Ingest for a new
+	// tenant beyond the cap is refused with 503.
+	MaxTenants int
+	// Now is the clock (nil = time.Now). Injectable for rate-limit and
+	// metrics tests; decisions never depend on it.
+	Now func() time.Time
+	// TeeRecorder, when set, supplies an extra loop.Recorder per tenant
+	// that receives every DecisionRecord alongside the ledger — the
+	// replay-equals-live tests use it to capture the live stream.
+	TeeRecorder func(tenantID string) loop.Recorder
+}
+
+// Server is the ingestion daemon: an http.Handler plus the tenant
+// pipelines and ledgers behind it.
+type Server struct {
+	cfg           Config
+	cat           *resource.Catalog
+	goalMs        float64
+	reorderWindow int
+	syncEvery     int
+	now           func() time.Time
+	mux           *http.ServeMux
+	metrics       *metrics
+
+	mu       sync.RWMutex
+	tenants  map[string]*tenant
+	draining bool
+	closed   bool
+}
+
+// New builds a Server, creating the ledger directory if needed.
+func New(cfg Config) (*Server, error) {
+	if cfg.LedgerDir == "" {
+		return nil, fmt.Errorf("serve: Config.LedgerDir is required")
+	}
+	if err := os.MkdirAll(cfg.LedgerDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		cfg:           cfg,
+		cat:           cfg.Catalog,
+		goalMs:        cfg.GoalMs,
+		reorderWindow: cfg.ReorderWindow,
+		syncEvery:     cfg.SyncEvery,
+		now:           cfg.Now,
+		tenants:       make(map[string]*tenant),
+	}
+	if s.cat == nil {
+		s.cat = resource.DefaultCatalog()
+	}
+	if s.goalMs <= 0 {
+		s.goalMs = DefaultGoalMs
+	}
+	if s.reorderWindow <= 0 {
+		s.reorderWindow = DefaultReorderWindow
+	}
+	if s.syncEvery == 0 {
+		s.syncEvery = 1
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	s.metrics = newMetrics(s.now())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/tenants/{id}/decisions", s.handleDecisions)
+	mux.HandleFunc("GET /v1/tenants/{id}/bill", s.handleBill)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.addRequest()
+	s.mux.ServeHTTP(w, r)
+}
+
+// newPolicy builds a tenant's policy via Config.NewPolicy or the default
+// demand-driven auto-scaler.
+func (s *Server) newPolicy(id string, initial resource.Container) (policy.Policy, error) {
+	if s.cfg.NewPolicy != nil {
+		return s.cfg.NewPolicy(id, initial)
+	}
+	sc, err := core.New(core.Config{
+		Catalog: s.cat,
+		Initial: initial,
+		Goal:    core.LatencyGoal{Kind: core.GoalP95, Ms: s.goalMs},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return policy.NewAuto(sc), nil
+}
+
+// tenantSeed derives a tenant's loop seed from the service seed — same
+// SplitSeed discipline as the fleet runners, so the stream is a function
+// of (service seed, tenant ID) alone.
+func (s *Server) tenantSeed(id string) int64 {
+	return exec.SplitSeedString(s.cfg.Seed, id)
+}
+
+// newBucket builds a per-tenant token bucket from the configured rate
+// (nil when unlimited).
+func (s *Server) newBucket() *tokenBucket {
+	if s.cfg.RatePerSec <= 0 {
+		return nil
+	}
+	burst := s.cfg.Burst
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	return newTokenBucket(s.cfg.RatePerSec, burst, s.now())
+}
+
+// getTenant returns the tenant pipeline for id, creating (and possibly
+// ledger-resuming) it on first sight.
+func (s *Server) getTenant(id string) (*tenant, int, error) {
+	s.mu.RLock()
+	t, ok := s.tenants[id]
+	draining := s.draining
+	s.mu.RUnlock()
+	if ok {
+		return t, http.StatusOK, nil
+	}
+	if draining {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: draining")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[id]; ok {
+		return t, http.StatusOK, nil
+	}
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: draining")
+	}
+	if s.cfg.MaxTenants > 0 && len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("serve: tenant limit (%d) reached", s.cfg.MaxTenants)
+	}
+	t, err := s.newTenant(id)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	s.tenants[id] = t
+	return t, http.StatusOK, nil
+}
+
+// lookupTenant returns an existing tenant pipeline or nil.
+func (s *Server) lookupTenant(id string) *tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tenants[id]
+}
+
+// Close drains and shuts the server down: new work is refused, every
+// tenant's reorder buffer is flushed through its loop (gaps decided as
+// withheld intervals), and every ledger is synced and closed. Safe to
+// call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.closed = true
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+
+	var first error
+	for _, t := range tenants {
+		if err := t.drain(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// wireSnapshot is one telemetry snapshot on the wire. Seq is the
+// idempotency key — the billing interval the snapshot covers; when
+// omitted it defaults to the snapshot's Interval field.
+type wireSnapshot struct {
+	Seq      *int               `json:"seq,omitempty"`
+	Snapshot telemetry.Snapshot `json:"snapshot"`
+}
+
+// seq resolves the effective sequence number.
+func (ws wireSnapshot) seq() int {
+	if ws.Seq != nil {
+		return *ws.Seq
+	}
+	return ws.Snapshot.Interval
+}
+
+// telemetryRequest is the ingest request body: a single snapshot, a
+// batch, or both (single first).
+type telemetryRequest struct {
+	wireSnapshot
+	Batch []wireSnapshot `json:"batch,omitempty"`
+}
+
+// ingestReply is the ingest response body.
+type ingestReply struct {
+	Tenant string `json:"tenant"`
+	ingestCounts
+	Error string `json:"error,omitempty"`
+}
+
+// maxBodyBytes bounds an ingest request body.
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !tenantIDPattern.MatchString(id) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid tenant id %q", id))
+		return
+	}
+	var req telemetryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	var batch []wireSnapshot
+	if req.Seq != nil || req.Snapshot != (telemetry.Snapshot{}) {
+		batch = append(batch, req.wireSnapshot)
+	}
+	batch = append(batch, req.Batch...)
+	if len(batch) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("empty request: need snapshot or batch"))
+		return
+	}
+
+	t, status, err := s.getTenant(id)
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
+	counts, status, err := t.ingest(batch)
+	s.metrics.addIngest(counts)
+	reply := ingestReply{Tenant: id, ingestCounts: counts}
+	if err != nil {
+		s.metrics.addError()
+		reply.Error = err.Error()
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, reply)
+}
+
+// decisionsReply is the decisions response body.
+type decisionsReply struct {
+	Tenant    string                `json:"tenant"`
+	Decisions []loop.DecisionRecord `json:"decisions"`
+	Truncated bool                  `json:"ledger_truncated_tail"`
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t := s.lookupTenant(id)
+	if t == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", id))
+		return
+	}
+	log, err := t.replay()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	decs := log.Decisions()
+	if since, ok := intParam(r, "since"); ok {
+		i := sort.Search(len(decs), func(i int) bool { return decs[i].Interval >= since })
+		decs = decs[i:]
+	}
+	if limit, ok := intParam(r, "limit"); ok && limit >= 0 && limit < len(decs) {
+		decs = decs[len(decs)-limit:]
+	}
+	writeJSON(w, http.StatusOK, decisionsReply{Tenant: id, Decisions: decs, Truncated: log.Truncated})
+}
+
+// billReply is the bill response body.
+type billReply struct {
+	Tenant    string            `json:"tenant"`
+	LineItems []ledger.LineItem `json:"line_items"`
+	TotalCost float64           `json:"total_cost"`
+}
+
+func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t := s.lookupTenant(id)
+	if t == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", id))
+		return
+	}
+	log, err := t.replay()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, billReply{Tenant: id, LineItems: log.Items(), TotalCost: log.TotalCost()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.tenants)
+	draining := s.draining
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   map[bool]string{false: "ok", true: "draining"}[draining],
+		"tenants":  n,
+		"draining": draining,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	draining := s.draining
+	s.mu.RUnlock()
+
+	var depth int
+	var records, bytes, syncs int64
+	for _, t := range tenants {
+		t.mu.Lock()
+		depth += len(t.buf)
+		records += t.led.Records()
+		bytes += t.led.Bytes()
+		syncs += t.led.Syncs()
+		t.mu.Unlock()
+	}
+	snap := s.metrics.snapshot(s.now(), len(tenants), depth, draining)
+	snap.Ledger = ledgerMetrics{Records: records, Bytes: bytes, Syncs: syncs}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// replay syncs the tenant's ledger and reads it back — the query
+// endpoints serve from the ledger itself, so what they return is by
+// construction what a post-hoc audit would reproduce.
+func (t *tenant) replay() (*ledger.Log, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.led.Sync(); err != nil {
+		return nil, err
+	}
+	return ledger.Replay(t.led.Path())
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.metrics.addError()
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// intParam parses an integer query parameter.
+func intParam(r *http.Request, name string) (int, bool) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}

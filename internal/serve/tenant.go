@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"daasscale/internal/ledger"
+	"daasscale/internal/loop"
+	"daasscale/internal/resource"
+	"daasscale/internal/telemetry"
+)
+
+// stateApplier is the serving substrate: the daemon does not run the
+// tenant's database, it tracks the desired container the control loop has
+// decided on (in production this record is what the resize executor
+// reconciles the real container against). Apply is infallible and
+// synchronous, so the loop's synchronous path applies decisions within
+// the interval, exactly like the simulation runners' engine applier.
+type stateApplier struct {
+	cur   resource.Container
+	memMB float64
+}
+
+// Apply implements loop.Applier.
+func (a *stateApplier) Apply(c resource.Container) error {
+	a.cur = c
+	return nil
+}
+
+// Actual implements loop.Applier.
+func (a *stateApplier) Actual() resource.Container { return a.cur }
+
+// tenant is one tenant's full serving pipeline: the bounded reorder
+// window in front, the control loop in the middle, the append-only
+// ledger behind. All state is guarded by mu; different tenants never
+// share state, so ingest scales across tenants without contention.
+type tenant struct {
+	id  string
+	srv *Server
+
+	// mu serializes the pipeline. The ledger writer is not goroutine-safe
+	// and the loop is single-goroutine state; one lock covers both.
+	mu sync.Mutex
+
+	lp      *loop.TenantLoop[resource.Container]
+	applier *stateApplier
+	led     *ledger.Writer
+	ledRec  *ledger.Recorder
+
+	// nextSeq is the ingest watermark: the next interval the loop will
+	// decide. Every seq below it has been decided (possibly as a withheld
+	// gap), which makes the watermark a complete duplicate filter.
+	nextSeq int
+	// buf holds out-of-order future snapshots, keyed by seq, bounded by
+	// the server's reorder window.
+	buf map[int]telemetry.Snapshot
+	// prev is the last sanitized snapshot — SanitizeSnapshot's repair
+	// source for non-finite fields of the next one.
+	prev     telemetry.Snapshot
+	havePrev bool
+
+	bucket *tokenBucket
+
+	// resumed reports whether the tenant's watermark was restored from an
+	// existing ledger at open.
+	resumed bool
+}
+
+// ingestCounts summarizes what one ingest call did, for the HTTP reply
+// and the metrics.
+type ingestCounts struct {
+	Accepted    int `json:"accepted"`
+	Duplicates  int `json:"duplicates"`
+	Buffered    int `json:"buffered"`
+	Gaps        int `json:"gaps"`
+	RateLimited int `json:"rate_limited"`
+	NextSeq     int `json:"next_seq"`
+	BufferDepth int `json:"buffer_depth"`
+}
+
+// newTenant assembles the pipeline, resuming the ingest watermark and the
+// running container from the tenant's ledger when one exists — a restart
+// continues the decision sequence instead of re-billing interval 0.
+func (s *Server) newTenant(id string) (*tenant, error) {
+	path := filepath.Join(s.cfg.LedgerDir, id+".ledger")
+	led, err := ledger.OpenWriter(path, ledger.WithSyncEvery(s.syncEvery))
+	if err != nil {
+		return nil, err
+	}
+
+	t := &tenant{
+		id:      id,
+		srv:     s,
+		applier: &stateApplier{cur: s.cat.Smallest()},
+		led:     led,
+		buf:     make(map[int]telemetry.Snapshot),
+		bucket:  s.newBucket(),
+	}
+	if led.Records() > 0 {
+		log, err := ledger.Replay(path)
+		if err != nil {
+			led.Close()
+			return nil, err
+		}
+		if last := log.LastDecisionInterval(); last >= 0 {
+			t.nextSeq = last + 1
+			t.resumed = true
+		}
+		// Resume the substrate from the last decided target, so billing
+		// and hold decisions continue from the container the tenant was
+		// actually left in.
+		decs := log.Decisions()
+		if n := len(decs); n > 0 {
+			if c, ok := s.cat.ByName(decs[n-1].Target); ok {
+				t.applier.cur = c
+			}
+			t.applier.memMB = decs[n-1].BalloonTargetMB
+		}
+	}
+
+	pol, err := s.newPolicy(id, t.applier.cur)
+	if err != nil {
+		led.Close()
+		return nil, err
+	}
+	t.ledRec = &ledger.Recorder{W: led}
+	var rec loop.Recorder = t.ledRec
+	if s.cfg.TeeRecorder != nil {
+		if extra := s.cfg.TeeRecorder(id); extra != nil {
+			rec = teeRecorder{t.ledRec, extra}
+		}
+	}
+	t.lp = loop.New(loop.Config[resource.Container]{
+		ID:   id,
+		Seed: s.tenantSeed(id),
+		Decider: &loop.PolicyDecider{
+			Policy:       pol,
+			MemoryTarget: func() float64 { return t.applier.memMB },
+		},
+		Applier:  t.applier,
+		Recorder: rec,
+		Describe: loop.DescribeContainer,
+	})
+	return t, nil
+}
+
+// step runs one interval through the control loop and the ledger.
+// observed=false marks a withheld interval — a gap the reorder window
+// gave up on — which bills the running container's list price and holds
+// the current state.
+func (t *tenant) step(seq int, snap telemetry.Snapshot, observed bool) error {
+	if observed {
+		// The wire-claimed interval must be the sequence number the
+		// idempotency contract accepted; a skewed Interval field inside
+		// the payload must not leak into the audit trail.
+		snap.Interval = seq
+		var prevPtr *telemetry.Snapshot
+		if t.havePrev {
+			prevPtr = &t.prev
+		}
+		if fixed := telemetry.SanitizeSnapshot(&snap, prevPtr); fixed > 0 {
+			t.srv.metrics.addSanitized(int64(fixed))
+		}
+		t.prev = snap
+		t.havePrev = true
+	} else {
+		cur := t.applier.cur
+		snap = telemetry.Snapshot{
+			Interval:  seq,
+			Container: cur.Name,
+			Step:      cur.Step,
+			Cost:      cur.Cost,
+		}
+	}
+	start := t.srv.now()
+	if err := t.lp.StepSnapshot(seq, snap, observed); err != nil {
+		return err
+	}
+	t.applier.memMB = t.lp.LastDecision().BalloonTargetMB
+	t.srv.metrics.observeDecision(t.srv.now().Sub(start))
+	return t.ledRec.Err()
+}
+
+// drainReady steps every contiguously buffered snapshot at the watermark.
+func (t *tenant) drainReady(counts *ingestCounts) error {
+	for {
+		snap, ok := t.buf[t.nextSeq]
+		if !ok {
+			return nil
+		}
+		delete(t.buf, t.nextSeq)
+		if err := t.step(t.nextSeq, snap, true); err != nil {
+			return err
+		}
+		counts.Accepted++
+		t.nextSeq++
+	}
+}
+
+// flushOverflow gives up waiting for missing intervals once the reorder
+// buffer exceeds the window: the gap up to the earliest buffered snapshot
+// is decided as withheld intervals (hold decisions, billed at the running
+// container's list price), then the buffered run drains. Late snapshots
+// for a flushed gap are thereafter duplicates — decided intervals are
+// never re-decided, which is what keeps replay deterministic.
+func (t *tenant) flushOverflow(counts *ingestCounts) error {
+	for len(t.buf) > t.srv.reorderWindow {
+		min := -1
+		for seq := range t.buf {
+			if min < 0 || seq < min {
+				min = seq
+			}
+		}
+		for i := t.nextSeq; i < min; i++ {
+			if err := t.step(i, telemetry.Snapshot{}, false); err != nil {
+				return err
+			}
+			counts.Gaps++
+			t.nextSeq++
+		}
+		if err := t.drainReady(counts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingest runs one batch of wire snapshots through the pipeline under the
+// tenant lock. Each snapshot charges one rate-limiter token; when the
+// bucket empties the rest of the batch is refused (the client retries
+// with backoff) without touching the decided prefix.
+func (t *tenant) ingest(batch []wireSnapshot) (ingestCounts, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	counts := ingestCounts{}
+	status := http.StatusOK
+	for _, ws := range batch {
+		if !t.bucket.allow(t.srv.now()) {
+			counts.RateLimited++
+			status = http.StatusTooManyRequests
+			break
+		}
+		seq := ws.seq()
+		if seq < 0 {
+			return counts, http.StatusBadRequest, fmt.Errorf("serve: negative sequence number %d", seq)
+		}
+		switch {
+		case seq < t.nextSeq:
+			counts.Duplicates++ // already decided (or flushed as a gap)
+		case seq == t.nextSeq:
+			if err := t.step(seq, ws.Snapshot, true); err != nil {
+				return counts, http.StatusInternalServerError, err
+			}
+			counts.Accepted++
+			t.nextSeq++
+			if err := t.drainReady(&counts); err != nil {
+				return counts, http.StatusInternalServerError, err
+			}
+		default: // future: buffer within the bounded reorder window
+			if _, dup := t.buf[seq]; dup {
+				counts.Duplicates++
+				continue
+			}
+			t.buf[seq] = ws.Snapshot
+			counts.Buffered++
+			if err := t.flushOverflow(&counts); err != nil {
+				return counts, http.StatusInternalServerError, err
+			}
+		}
+	}
+	// Request-sync mode (SyncEvery < 0) defers durability to one fsync
+	// here, after the whole batch; per-record and group-commit strides
+	// are the writer's own policy.
+	if t.srv.syncEvery < 0 {
+		if err := t.led.Sync(); err != nil {
+			return counts, http.StatusInternalServerError, err
+		}
+	}
+	counts.NextSeq = t.nextSeq
+	counts.BufferDepth = len(t.buf)
+	return counts, status, nil
+}
+
+// drain flushes everything the tenant has buffered — gaps decided as
+// withheld intervals, buffered snapshots decided in order — then syncs
+// and closes the ledger. Called on graceful shutdown so nothing received
+// is lost.
+func (t *tenant) drain() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var counts ingestCounts
+	for len(t.buf) > 0 {
+		min := -1
+		for seq := range t.buf {
+			if min < 0 || seq < min {
+				min = seq
+			}
+		}
+		for i := t.nextSeq; i < min; i++ {
+			if err := t.step(i, telemetry.Snapshot{}, false); err != nil {
+				return err
+			}
+			t.nextSeq++
+		}
+		if err := t.drainReady(&counts); err != nil {
+			return err
+		}
+	}
+	return t.led.Close()
+}
+
+// bufferDepth reports the current reorder-buffer size.
+func (t *tenant) bufferDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// teeRecorder fans one record out to both destinations (ledger first).
+type teeRecorder [2]loop.Recorder
+
+// Record implements loop.Recorder.
+func (tr teeRecorder) Record(r loop.DecisionRecord) {
+	tr[0].Record(r)
+	tr[1].Record(r)
+}

@@ -1,0 +1,66 @@
+package daasscale_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"daasscale/internal/serve"
+)
+
+// serveIngestFloor is the sustained ingest-throughput gate for the
+// serving daemon: real HTTP over loopback, concurrent tenant streams,
+// decisions written through to fsync'd per-tenant ledgers (one fsync per
+// request). The race detector's overhead exempts the gate, matching the
+// other benchmark floors.
+const serveIngestFloor = 10_000 // snapshots/sec
+
+// BenchmarkServeIngest measures the daemon end to end: JSON decode,
+// idempotency/reorder pipeline, policy decision, ledger append, fsync.
+func BenchmarkServeIngest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := serve.New(serve.Config{
+			LedgerDir: b.TempDir(),
+			Seed:      benchSeed,
+			SyncEvery: -1, // one fsync per ingest request
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		b.StartTimer()
+
+		res, err := serve.RunLoad(context.Background(), serve.LoadSpec{
+			BaseURL:   hs.URL,
+			Tenants:   200,
+			Snapshots: 100,
+			Batch:     50,
+		})
+		b.StopTimer()
+		hs.Close()
+		if cerr := srv.Close(); cerr != nil {
+			b.Fatal(cerr)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors != 0 || res.Accepted != res.Snapshots {
+			b.Fatalf("load result %+v", res)
+		}
+		b.ReportMetric(res.SnapshotsPerSec, "snapshots/s")
+		b.ReportMetric(res.RequestsPerSec, "req/s")
+		if res.SnapshotsPerSec < serveIngestFloor && !raceEnabled {
+			b.Fatalf("sustained %.0f snapshots/sec, gate is %d", res.SnapshotsPerSec, serveIngestFloor)
+		}
+		recordBench("ServeIngest", map[string]float64{
+			"tenants":           float64(res.Tenants),
+			"snapshots":         float64(res.Snapshots),
+			"batch":             50,
+			"snapshots_per_sec": res.SnapshotsPerSec,
+			"requests_per_sec":  res.RequestsPerSec,
+			"duration_seconds":  res.DurationSeconds,
+		})
+		b.StartTimer()
+	}
+}
