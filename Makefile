@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race alloc-gate chaos explain verify bench bench-all bench-fleet bench-cluster bench-serve profile deprecation-gate
+.PHONY: all build test vet race alloc-gate chaos crash explain verify bench bench-all bench-fleet bench-cluster bench-serve profile deprecation-gate
 
 all: verify
 
@@ -37,6 +37,15 @@ alloc-gate:
 chaos:
 	$(GO) test -count=1 ./internal/faults/... ./internal/actuate/... \
 		./internal/sim -run 'Chaos|Actuation'
+
+# The crash gate: kill -9 the real daemon binary mid-load — on a clean
+# disk and under random injected EIO — and assert the ack-vs-replay
+# invariants with daas-loadgen's ledger verifier. The in-process
+# fault-point sweep (every fault kind at a stride of filesystem-op
+# indexes, across workload shapes) runs first.
+crash:
+	$(GO) test -count=1 -run 'TestCrashConsistencySweep' ./internal/serve/
+	./scripts/crash_smoke.sh
 
 # Smoke the decision-audit surface end to end: a real daas-sim run under
 # telemetry + actuation chaos must print rule explanations sourced from

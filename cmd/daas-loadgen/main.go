@@ -3,13 +3,24 @@
 // throughput as JSON on stdout. The CI smoke test uses it to exercise
 // the real daemon binary end to end.
 //
+// The generator honors the server's refusal contract: a 429 or 503 is
+// retried after the reply's Retry-After, up to -max-retries per batch.
+// The run's result records, per tenant, the highest acknowledged NextSeq
+// — the ground truth the crash-restart harness checks ledgers against:
+// an acknowledged decision must never be lost, no matter how the daemon
+// was killed. -ack-out writes that map to a file; -verify-ledgers replays
+// a ledger directory and asserts the crash-consistency invariants
+// (contiguity, bill lockstep, nothing acked lost) after the run.
+//
 // Usage:
 //
 //	daas-loadgen [-url http://127.0.0.1:8080] [-tenants N] [-snapshots M]
-//	             [-batch B] [-concurrency C] [-min-rate R]
+//	             [-batch B] [-concurrency C] [-min-rate R] [-max-retries N]
+//	             [-ack-out FILE] [-verify-ledgers DIR]
 //
-// Exits non-zero on transport failure, any rejected request, or a
-// sustained rate below -min-rate (0 disables the gate).
+// Exits non-zero on transport failure, any request still failed after
+// its retry budget, a sustained rate below -min-rate (0 disables the
+// gate), or a ledger verification failure.
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 
+	"daasscale/internal/fsio"
 	"daasscale/internal/serve"
 )
 
@@ -32,7 +44,34 @@ func main() {
 	batch := flag.Int("batch", 50, "snapshots per request")
 	concurrency := flag.Int("concurrency", 0, "streams in flight at once (0 = tenants, capped at 512)")
 	minRate := flag.Float64("min-rate", 0, "fail unless sustained snapshots/sec meets this floor (0 = no gate)")
+	maxRetries := flag.Int("max-retries", serve.DefaultMaxRetries, "retry budget per batch for 429/503 refusals (<0 disables retrying)")
+	ackOut := flag.String("ack-out", "", "write the per-tenant acknowledged-NextSeq map to this file (JSON)")
+	verifyLedgers := flag.String("verify-ledgers", "", "after the run, replay this ledger directory and assert the crash-consistency invariants against the acks")
 	flag.Parse()
+
+	// Verify-only mode (-tenants 0): no load, just replay the ledger
+	// directory and check it against a previously written ack file. The
+	// crash-restart harness uses this after a kill -9: the interrupted
+	// load run exits non-zero, but its -ack-out file survives, and the
+	// restarted daemon's ledgers must still cover every ack in it.
+	if *tenants == 0 && *verifyLedgers != "" {
+		acked := map[string]int{}
+		if *ackOut != "" {
+			buf, rerr := os.ReadFile(*ackOut)
+			if rerr != nil {
+				log.Fatal(rerr)
+			}
+			if jerr := json.Unmarshal(buf, &acked); jerr != nil {
+				log.Fatalf("ack file %s: %v", *ackOut, jerr)
+			}
+		}
+		checks, verr := serve.VerifyLedgers(fsio.OS, *verifyLedgers, acked)
+		if verr != nil {
+			log.Fatalf("ledger verification: %v", verr)
+		}
+		log.Printf("verified %d tenant ledgers against %d recorded acks", len(checks), len(acked))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -43,20 +82,41 @@ func main() {
 		Snapshots:   *snapshots,
 		Batch:       *batch,
 		Concurrency: *concurrency,
+		MaxRetries:  *maxRetries,
 	})
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(res)
+	if *ackOut != "" {
+		buf, merr := json.Marshal(res.Acked)
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		if werr := fsio.WriteFileAtomic(*ackOut, buf, 0o644); werr != nil {
+			log.Fatal(werr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	if res.Errors > 0 {
-		log.Fatalf("%d requests rejected", res.Errors)
+		log.Fatalf("%d requests still failed after the retry budget", res.Errors)
 	}
-	if res.Accepted != res.Snapshots {
-		log.Fatalf("accepted %d of %d snapshots", res.Accepted, res.Snapshots)
+	// A re-driven stream (after a crash restart) completes through
+	// duplicates: already-decided intervals are acknowledged, not
+	// re-accepted. Either way every snapshot must have landed.
+	if res.Accepted+res.Duplicates < res.Snapshots {
+		log.Fatalf("landed %d of %d snapshots (%d new, %d duplicate)",
+			res.Accepted+res.Duplicates, res.Snapshots, res.Accepted, res.Duplicates)
 	}
 	if *minRate > 0 && res.SnapshotsPerSec < *minRate {
 		log.Fatalf("sustained %.0f snapshots/sec, floor is %.0f", res.SnapshotsPerSec, *minRate)
+	}
+	if *verifyLedgers != "" {
+		checks, verr := serve.VerifyLedgers(fsio.OS, *verifyLedgers, res.Acked)
+		if verr != nil {
+			log.Fatalf("ledger verification: %v", verr)
+		}
+		log.Printf("verified %d tenant ledgers: contiguous decisions, bill in lockstep, nothing acked lost", len(checks))
 	}
 }

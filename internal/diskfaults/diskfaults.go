@@ -1,0 +1,412 @@
+// Package diskfaults is the storage-fault layer behind the
+// crash-consistency harness: a deterministic fault-injecting fsio.FS
+// wrapper (EIO, ENOSPC, short writes, simulated power cuts) plus an
+// in-memory filesystem (MemFS) that models per-file synced prefixes so a
+// power cut can be simulated at any operation boundary.
+//
+// Determinism follows the repo-wide SplitSeed discipline: whether a given
+// operation faults is a pure function of (plan, operation index), so a
+// fault-point sweep replays exactly and a CI failure reproduces from the
+// logged seed. Under concurrent callers the operation *order* is
+// scheduling-dependent; the sweep harness serializes its workload, and
+// the rate-mode CI smoke only needs "some deterministic faults", not a
+// specific schedule.
+package diskfaults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+
+	"daasscale/internal/exec"
+	"daasscale/internal/fsio"
+)
+
+// Kind selects what a faulted operation returns.
+type Kind uint8
+
+const (
+	// KindEIO fails the operation with syscall.EIO.
+	KindEIO Kind = iota
+	// KindENOSPC fails the operation with syscall.ENOSPC.
+	KindENOSPC
+	// KindShortWrite writes only a prefix of the data and returns
+	// io.ErrShortWrite — the torn-frame generator. Non-write operations
+	// degrade to EIO.
+	KindShortWrite
+	// KindPowerCut kills the disk: the faulted operation and every
+	// operation after it fail with ErrPowerLost. The harness then calls
+	// MemFS.Crash (or actually kills the process) and restarts.
+	KindPowerCut
+	// KindMix picks EIO, ENOSPC, or a short write per faulted operation,
+	// deterministically from the operation index.
+	KindMix
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindEIO:
+		return "eio"
+	case KindENOSPC:
+		return "enospc"
+	case KindShortWrite:
+		return "short"
+	case KindPowerCut:
+		return "powercut"
+	case KindMix:
+		return "mix"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString parses a -fault-kind flag value.
+func KindFromString(s string) (Kind, error) {
+	for _, k := range []Kind{KindEIO, KindENOSPC, KindShortWrite, KindPowerCut, KindMix} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("diskfaults: unknown fault kind %q", s)
+}
+
+// Op classifies a faultable operation.
+type Op uint8
+
+const (
+	// OpWrite is a file data write.
+	OpWrite Op = iota
+	// OpSync is a file fsync.
+	OpSync
+	// OpSyncDir is a directory fsync.
+	OpSyncDir
+	// OpCreate covers OpenFile-with-O_CREATE and CreateTemp.
+	OpCreate
+	// OpRename is a rename.
+	OpRename
+	// OpRemove is an unlink.
+	OpRemove
+	// OpTruncate is a file truncate (the ledger's recovery path).
+	OpTruncate
+	numOps
+)
+
+// OpMask selects which operation classes a plan may fault.
+type OpMask uint16
+
+// MaskOf builds a mask from op classes.
+func MaskOf(ops ...Op) OpMask {
+	var m OpMask
+	for _, op := range ops {
+		m |= 1 << op
+	}
+	return m
+}
+
+// DefaultMask faults every mutating operation class: writes, syncs,
+// directory syncs, creates, renames, removes, truncates. Reads are never
+// faulted — the invariants under test are about what survives on disk,
+// and a read fault cannot lose data.
+const DefaultMask = OpMask(1<<numOps - 1)
+
+// Plan describes which operations fault and how. The zero Plan faults
+// nothing (the wrapper still counts operations, which is how a sweep
+// discovers its fault points).
+//
+// Two selection modes, combinable:
+//   - Window: operations with index in [Start, Start+Count) fault
+//     (Count < 0 means every operation from Start on — a disk that stays
+//     broken).
+//   - Rate: with Rate > 0, each operation faults with probability Rate,
+//     decided by SplitSeed(Seed, index) — deterministic per index.
+type Plan struct {
+	// Kind is what a faulted operation returns.
+	Kind Kind
+	// Start is the first faulted operation index (window mode).
+	Start int64
+	// Count is the window length; 0 disables the window, < 0 never ends.
+	Count int64
+	// Rate is the per-operation fault probability (rate mode; 0 disables).
+	Rate float64
+	// Seed derives the rate mode's per-index decisions.
+	Seed int64
+	// Mask restricts faultable classes (0 = DefaultMask).
+	Mask OpMask
+}
+
+// ErrPowerLost is what every operation returns once a KindPowerCut fault
+// has fired: the machine is off.
+var ErrPowerLost = errors.New("diskfaults: power lost")
+
+// FS wraps an inner fsio.FS and injects faults per a Plan. Wrap it around
+// fsio.OS for real-disk fault testing (kill -9 supplies the crashes) or
+// around a MemFS for in-process power-cut sweeps.
+type FS struct {
+	inner fsio.FS
+
+	mu       sync.Mutex
+	plan     Plan
+	ops      int64
+	injected int64
+	dead     bool
+}
+
+// Wrap builds a fault-injecting view of inner.
+func Wrap(inner fsio.FS, plan Plan) *FS {
+	return &FS{inner: inner, plan: plan}
+}
+
+// Ops returns how many faultable operations have been observed (masked or
+// not) — the sweep's coordinate space.
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Injected returns how many faults have fired.
+func (f *FS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Dead reports whether a power-cut fault has fired.
+func (f *FS) Dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// SetPlan replaces the plan (op counting continues). PowerOn is needed
+// separately to revive a dead disk.
+func (f *FS) SetPlan(plan Plan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan = plan
+}
+
+// PowerOn clears the dead state after a power cut — the harness calls it
+// together with MemFS.Crash to model the machine rebooting.
+func (f *FS) PowerOn() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dead = false
+}
+
+// decide counts one faultable operation and returns the error to inject,
+// if any. For KindShortWrite it returns errShortWrite, which Write
+// translates into a partial write; other ops degrade it to EIO.
+func (f *FS) decide(op Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return ErrPowerLost
+	}
+	idx := f.ops
+	f.ops++
+	mask := f.plan.Mask
+	if mask == 0 {
+		mask = DefaultMask
+	}
+	if mask&(1<<op) == 0 {
+		return nil
+	}
+	hit := false
+	if f.plan.Count != 0 && idx >= f.plan.Start && (f.plan.Count < 0 || idx < f.plan.Start+f.plan.Count) {
+		hit = true
+	}
+	if !hit && f.plan.Rate > 0 {
+		// SplitSeed's output is well mixed; the top 53 bits give a uniform
+		// fraction in [0, 1) that is a pure function of (seed, index).
+		u := uint64(exec.SplitSeed(f.plan.Seed, idx)) >> 11
+		if float64(u)/float64(1<<53) < f.plan.Rate {
+			hit = true
+		}
+	}
+	if !hit {
+		return nil
+	}
+	f.injected++
+	kind := f.plan.Kind
+	if kind == KindMix {
+		kind = []Kind{KindEIO, KindENOSPC, KindShortWrite}[uint64(exec.SplitSeed(f.plan.Seed+1, idx))%3]
+	}
+	switch kind {
+	case KindENOSPC:
+		return fmt.Errorf("diskfaults: injected: %w", syscall.ENOSPC)
+	case KindShortWrite:
+		return errShortWrite
+	case KindPowerCut:
+		f.dead = true
+		return ErrPowerLost
+	default:
+		return fmt.Errorf("diskfaults: injected: %w", syscall.EIO)
+	}
+}
+
+// errShortWrite is the internal marker decide returns for a short-write
+// fault; Write converts it into a real partial write + io.ErrShortWrite,
+// non-write operations degrade it to EIO.
+var errShortWrite = errors.New("diskfaults: short write marker")
+
+func degradeShort(err error) error {
+	if errors.Is(err, errShortWrite) {
+		return fmt.Errorf("diskfaults: injected: %w", syscall.EIO)
+	}
+	return err
+}
+
+// OpenFile implements fsio.FS. Creation faults; plain opens do not.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (fsio.File, error) {
+	if flag&os.O_CREATE != 0 {
+		if err := f.decide(OpCreate); err != nil {
+			return nil, degradeShort(err)
+		}
+	} else if f.Dead() {
+		return nil, ErrPowerLost
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// CreateTemp implements fsio.FS.
+func (f *FS) CreateTemp(dir, pattern string) (fsio.File, error) {
+	if err := f.decide(OpCreate); err != nil {
+		return nil, degradeShort(err)
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements fsio.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.decide(OpRename); err != nil {
+		return degradeShort(err)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements fsio.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.decide(OpRemove); err != nil {
+		return degradeShort(err)
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadFile implements fsio.FS; reads are not faulted, but a dead disk
+// serves nothing.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if f.Dead() {
+		return nil, ErrPowerLost
+	}
+	return f.inner.ReadFile(name)
+}
+
+// ReadDir implements fsio.FS.
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if f.Dead() {
+		return nil, ErrPowerLost
+	}
+	return f.inner.ReadDir(name)
+}
+
+// MkdirAll implements fsio.FS; directory creation happens once at service
+// startup and is not faulted.
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if f.Dead() {
+		return ErrPowerLost
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements fsio.FS.
+func (f *FS) SyncDir(dir string) error {
+	if err := f.decide(OpSyncDir); err != nil {
+		return degradeShort(err)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile intercepts the mutating file operations.
+type faultFile struct {
+	fs    *FS
+	inner fsio.File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if f.fs.Dead() {
+		return 0, ErrPowerLost
+	}
+	return f.inner.Read(p)
+}
+
+// Write injects write faults. A short write persists a prefix of the data
+// (half, rounded down) before failing — exactly the torn frame a real
+// device can leave.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.decide(OpWrite); err != nil {
+		if errors.Is(err, errShortWrite) {
+			n := len(p) / 2
+			if n > 0 {
+				if m, werr := f.inner.Write(p[:n]); werr != nil {
+					return m, werr
+				}
+			}
+			return n, io.ErrShortWrite
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if f.fs.Dead() {
+		return 0, ErrPowerLost
+	}
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Stat() (os.FileInfo, error) {
+	if f.fs.Dead() {
+		return nil, ErrPowerLost
+	}
+	return f.inner.Stat()
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.decide(OpSync); err != nil {
+		return degradeShort(err)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.decide(OpTruncate); err != nil {
+		return degradeShort(err)
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Chmod(mode os.FileMode) error {
+	if f.fs.Dead() {
+		return ErrPowerLost
+	}
+	return f.inner.Chmod(mode)
+}
+
+// Close is never faulted: the harness needs a dead process's handles to
+// be abandonable, and real close errors are covered by Sync faults.
+func (f *faultFile) Close() error { return f.inner.Close() }

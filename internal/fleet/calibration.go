@@ -9,6 +9,7 @@ import (
 	"daasscale/internal/engine"
 	"daasscale/internal/estimator"
 	"daasscale/internal/exec"
+	"daasscale/internal/fsio"
 	"daasscale/internal/resource"
 	"daasscale/internal/telemetry"
 	"daasscale/internal/workload"
@@ -44,6 +45,9 @@ func NewCalibrationSpec(configs, intervalsPer int, seed int64, options ...FleetO
 	}
 	if o.checkpointEvery <= 0 {
 		o.checkpointEvery = 8
+	}
+	if o.fs == nil {
+		o.fs = fsio.OS
 	}
 	return CalibrationSpec{Configs: configs, IntervalsPer: intervalsPer, Seed: seed, opts: o}, nil
 }
@@ -229,7 +233,7 @@ func resumeCalibration(spec CalibrationSpec, total []*WaitDigest, shards int) (s
 	if spec.opts.checkpoint == "" {
 		return 0, 0, nil
 	}
-	next, payload, ok, err := readCheckpoint(spec.opts.checkpoint, spec.fingerprint())
+	next, payload, ok, err := readCheckpoint(spec.opts.fs, spec.opts.checkpoint, spec.fingerprint())
 	if err != nil || !ok {
 		return 0, 0, err
 	}
@@ -247,7 +251,7 @@ func checkpointCalibration(spec CalibrationSpec, total []*WaitDigest, nextShard 
 	if err != nil {
 		return err
 	}
-	return writeCheckpoint(spec.opts.checkpoint, spec.fingerprint(), nextShard, payload)
+	return writeCheckpoint(spec.opts.fs, spec.opts.checkpoint, spec.fingerprint(), nextShard, payload)
 }
 
 func encodeCalibrationDigests(digests []*WaitDigest) ([]byte, error) {

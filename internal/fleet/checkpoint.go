@@ -2,9 +2,10 @@ package fleet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
-	"os"
 
 	"daasscale/internal/fsio"
 )
@@ -60,8 +61,9 @@ func fingerprintFor(kind string, dimA, dimB int, seed int64, shardSize int, alph
 // new one, never a zero-length or torn file. (The earlier rename-only
 // implementation was atomic against process kills but not against power
 // loss: without the data fsync the rename could land pointing at
-// unsynced, partial contents.)
-func writeCheckpoint(path string, fp checkpointFingerprint, nextShard int, payload []byte) error {
+// unsynced, partial contents.) All I/O goes through fsys so the
+// crash-consistency harness can fail or tear any step.
+func writeCheckpoint(fsys fsio.FS, path string, fp checkpointFingerprint, nextShard int, payload []byte) error {
 	fpb := fp.encode()
 	buf := make([]byte, 0, 16+len(fpb)+len(payload))
 	buf = binary.LittleEndian.AppendUint32(buf, checkpointMagic)
@@ -70,7 +72,7 @@ func writeCheckpoint(path string, fp checkpointFingerprint, nextShard int, paylo
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(nextShard))
 	buf = append(buf, payload...)
 
-	if err := fsio.WriteFileAtomic(path, buf, 0o644); err != nil {
+	if err := fsio.WriteFileAtomicFS(fsys, path, buf, 0o644); err != nil {
 		return fmt.Errorf("fleet: checkpoint: %w", err)
 	}
 	return nil
@@ -79,9 +81,9 @@ func writeCheckpoint(path string, fp checkpointFingerprint, nextShard int, paylo
 // readCheckpoint loads path. A missing file returns ok=false with no error
 // (fresh start); a present file with a different fingerprint is an error —
 // resuming someone else's run would silently corrupt the statistics.
-func readCheckpoint(path string, fp checkpointFingerprint) (nextShard int, payload []byte, ok bool, err error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+func readCheckpoint(fsys fsio.FS, path string, fp checkpointFingerprint) (nextShard int, payload []byte, ok bool, err error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return 0, nil, false, nil
 	}
 	if err != nil {

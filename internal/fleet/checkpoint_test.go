@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"daasscale/internal/diskfaults"
+	"daasscale/internal/fsio"
 )
 
 // TestStreamKillAndResume is the checkpoint acceptance criterion: a run
@@ -79,6 +82,63 @@ func TestStreamKillAndResume(t *testing.T) {
 	}
 	if string(raw3) != string(wantRaw) {
 		t.Error("fully-resumed aggregate differs")
+	}
+}
+
+// TestCheckpointCrashDurable runs the kill-and-resume cycle on the
+// crash-simulating filesystem via WithCheckpointFS, with a simulated
+// power loss between the kill and the resume: because checkpoint writes
+// fsync before the rename and fsync the directory after, the crash image
+// must hold a complete checkpoint, and the resumed aggregate must be
+// byte-identical to an uninterrupted run.
+func TestCheckpointCrashDurable(t *testing.T) {
+	const tenants, days, seed, shard = 240, 1, 1234, 32
+	mem := diskfaults.NewMemFS()
+	if err := mem.MkdirAll("/ck", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const ckpt = "/ck/fleet.ckpt"
+
+	uninterrupted, err := Stream(context.Background(),
+		mustFleetSpec(t, tenants, days, seed, WithShardSize(shard)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, err := uninterrupted.Aggregate.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := errors.New("simulated kill")
+	spec := mustFleetSpec(t, tenants, days, seed,
+		WithShardSize(shard), WithCheckpoint(ckpt), WithCheckpointEvery(2),
+		WithCheckpointFS(mem))
+	_, err = Stream(context.Background(), spec, func(sr ShardResult) error {
+		if sr.Index == 4 {
+			return killed
+		}
+		return nil
+	})
+	if !errors.Is(err, killed) {
+		t.Fatalf("first run: err = %v", err)
+	}
+
+	// Power loss: only fsync'd state survives.
+	mem.Crash()
+
+	res, err := Stream(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedShards == 0 {
+		t.Error("resume after crash did not skip any shards")
+	}
+	gotRaw, err := res.Aggregate.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotRaw) != string(wantRaw) {
+		t.Error("crash-resumed aggregate differs from uninterrupted run")
 	}
 }
 
@@ -216,7 +276,7 @@ func TestCheckpointTornFileDetected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fleet.ckpt")
 	fp := fingerprintFor("fleet", 64, 1, 1, 32, 0.01)
 	payload := []byte("aggregate-payload-bytes")
-	if err := writeCheckpoint(path, fp, 3, payload); err != nil {
+	if err := writeCheckpoint(fsio.OS, path, fp, 3, payload); err != nil {
 		t.Fatal(err)
 	}
 	whole, err := os.ReadFile(path)
@@ -228,7 +288,7 @@ func TestCheckpointTornFileDetected(t *testing.T) {
 		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, _, err := readCheckpoint(path, fp); err == nil {
+		if _, _, _, err := readCheckpoint(fsio.OS, path, fp); err == nil {
 			t.Fatalf("cut at byte %d: torn checkpoint header read back without error", cut)
 		}
 	}
@@ -240,7 +300,7 @@ func TestCheckpointTornFileDetected(t *testing.T) {
 	if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	next, got, ok, err := readCheckpoint(path, fp)
+	next, got, ok, err := readCheckpoint(fsio.OS, path, fp)
 	if err != nil || !ok || next != 3 {
 		t.Fatalf("payload cut: next=%d ok=%v err=%v, want 3 true nil", next, ok, err)
 	}
@@ -251,7 +311,7 @@ func TestCheckpointTornFileDetected(t *testing.T) {
 	if err := os.WriteFile(path, whole, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	next, got, ok, err = readCheckpoint(path, fp)
+	next, got, ok, err = readCheckpoint(fsio.OS, path, fp)
 	if err != nil || !ok || next != 3 || string(got) != string(payload) {
 		t.Fatalf("full file: next=%d ok=%v err=%v payload=%q", next, ok, err, got)
 	}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"daasscale/internal/exec"
+	"daasscale/internal/fsio"
 	"daasscale/internal/resource"
 )
 
@@ -38,6 +39,7 @@ type streamOpts struct {
 	catalog         *resource.Catalog
 	checkpoint      string
 	checkpointEvery int
+	fs              fsio.FS
 }
 
 // FleetOption configures a FleetSpec or CalibrationSpec.
@@ -94,6 +96,17 @@ func WithCheckpointEvery(shards int) FleetOption {
 	return func(o *streamOpts) { o.checkpointEvery = shards }
 }
 
+// WithCheckpointFS routes checkpoint reads and writes through fsys (nil
+// keeps fsio.OS, the real disk). The crash-consistency harness substitutes
+// a fault-injecting filesystem here; production never needs this.
+func WithCheckpointFS(fsys fsio.FS) FleetOption {
+	return func(o *streamOpts) {
+		if fsys != nil {
+			o.fs = fsys
+		}
+	}
+}
+
 func buildOpts(options []FleetOption) streamOpts {
 	o := streamOpts{shardSize: DefaultShardSize}
 	for _, opt := range options {
@@ -101,6 +114,9 @@ func buildOpts(options []FleetOption) streamOpts {
 	}
 	if o.checkpointEvery <= 0 {
 		o.checkpointEvery = 8
+	}
+	if o.fs == nil {
+		o.fs = fsio.OS
 	}
 	return o
 }
@@ -271,7 +287,7 @@ func resumeAggregate(spec FleetSpec, total *Aggregate, shards int) (start, resum
 	if spec.opts.checkpoint == "" {
 		return 0, 0, nil
 	}
-	next, payload, ok, err := readCheckpoint(spec.opts.checkpoint, spec.fingerprint())
+	next, payload, ok, err := readCheckpoint(spec.opts.fs, spec.opts.checkpoint, spec.fingerprint())
 	if err != nil || !ok {
 		return 0, 0, err
 	}
@@ -289,5 +305,5 @@ func checkpointAggregate(spec FleetSpec, total *Aggregate, nextShard int) error 
 	if err != nil {
 		return err
 	}
-	return writeCheckpoint(spec.opts.checkpoint, spec.fingerprint(), nextShard, payload)
+	return writeCheckpoint(spec.opts.fs, spec.opts.checkpoint, spec.fingerprint(), nextShard, payload)
 }

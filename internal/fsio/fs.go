@@ -1,0 +1,92 @@
+package fsio
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the durability stack needs: sequential
+// and positioned I/O, metadata, and — the load-bearing part — Sync. Every
+// on-disk artifact (ledger segments, checkpoints, atomic replaces) is
+// written through this interface so a test can substitute a
+// fault-injecting or crash-simulating implementation for the real disk.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	// Name returns the path the file was opened under.
+	Name() string
+	// Stat returns the file's metadata (the writers only use Size).
+	Stat() (os.FileInfo, error)
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Chmod sets the file's permission bits.
+	Chmod(mode os.FileMode) error
+	// Close releases the handle. It does not imply Sync.
+	Close() error
+}
+
+// FS is the filesystem seam the durability stack runs on. The production
+// implementation is OS (the real disk); internal/diskfaults provides a
+// deterministic fault-injecting wrapper and a crash-simulating in-memory
+// implementation for the crash-consistency harness. The interface is
+// deliberately the minimal surface the ledger, the fleet checkpoints, and
+// the serving daemon actually touch.
+type FS interface {
+	// OpenFile opens name with the given flag and (for creation) perm.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temp file in dir, os.CreateTemp-style: the
+	// last "*" in pattern is replaced with a unique suffix.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames oldpath to newpath. Durability of the
+	// rename itself requires a SyncDir of the parent directory.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists dir in name order.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, persisting renames and creates against
+	// power loss (with the EINVAL/ENOTSUP tolerance SyncDir documents).
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem: every method is the corresponding os.*
+// call. This is the default (and the only implementation production code
+// should select); everything else exists for fault injection.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error { return SyncDir(dir) }

@@ -6,30 +6,50 @@
 // write+rename: the data must be fsync'd before the rename (or the rename
 // can land pointing at a zero-length or partial file), and the directory
 // must be fsync'd after it (or the rename itself can be lost).
+//
+// All primitives are written against the FS seam so the crash-consistency
+// harness (internal/diskfaults) can fail any write, sync, create, or
+// rename deterministically and simulate power loss; production code uses
+// the OS implementation.
 package fsio
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
-// WriteFileAtomic atomically replaces path with data. The write goes to a
-// temp file in the same directory, the temp file is fsync'd *before* the
+// WriteFileAtomic atomically replaces path with data on the real
+// filesystem. See WriteFileAtomicFS.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomicFS(OS, path, data, perm)
+}
+
+// WriteFileAtomicFS atomically replaces path with data. The write goes to
+// a temp file in the same directory, the temp file is fsync'd *before* the
 // rename (so the rename can never install unsynced — possibly empty or
 // partial — contents), and the directory is fsync'd after it (so the
 // rename itself survives a crash). A kill at any point leaves either the
 // old file or the complete new one.
-func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+//
+// Before writing, stale temp files a previous crash left behind for the
+// same target (a kill between CreateTemp and the rename orphans the temp)
+// are swept away, so repeated crash-and-retry cycles cannot accumulate
+// debris. Concurrent atomic writers to the same target path were never
+// supported (last rename wins); the sweep does not change that.
+func WriteFileAtomicFS(fsys FS, path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	base := filepath.Base(path)
+	sweepStaleTemps(fsys, dir, base)
+	tmp, err := fsys.CreateTemp(dir, base+tempPattern)
 	if err != nil {
 		return fmt.Errorf("fsio: %w", err)
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("fsio: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
@@ -45,14 +65,36 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("fsio: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("fsio: %w", err)
 	}
-	return SyncDir(dir)
+	return fsys.SyncDir(dir)
+}
+
+// tempPattern is the CreateTemp suffix appended to the target's base name;
+// the "*" becomes the unique part. A temp file's name therefore always
+// starts with "<base>.tmp", which is what the stale sweep keys on.
+const tempPattern = ".tmp*"
+
+// sweepStaleTemps removes temp files earlier atomic writes of the same
+// target left behind (a crash between CreateTemp and Rename orphans one).
+// Best-effort: an unreadable directory or a vanished entry is ignored —
+// the sweep exists to bound debris, not to gate the write.
+func sweepStaleTemps(fsys FS, dir, base string) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	prefix := base + ".tmp"
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) {
+			fsys.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // SyncDir fsyncs a directory, persisting directory-level operations

@@ -55,6 +55,45 @@ func TestWriteFileAtomicLeavesNoTempDebris(t *testing.T) {
 	}
 }
 
+func TestWriteFileAtomicSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	// Orphans a crash between CreateTemp and Rename would leave behind.
+	for _, orphan := range []string{"state.bin.tmp1234", "state.bin.tmp9999"} {
+		if err := os.WriteFile(filepath.Join(dir, orphan), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bystanders the sweep must not touch: another target's temp and a
+	// file whose name merely resembles the target's.
+	for _, keep := range []string{"other.bin.tmp42", "state.bin.bak"} {
+		if err := os.WriteFile(filepath.Join(dir, keep), []byte("keep"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := WriteFileAtomic(path, []byte("fresh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	want := []string{"other.bin.tmp42", "state.bin", "state.bin.bak"}
+	if len(names) != len(want) {
+		t.Fatalf("directory holds %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("directory holds %v, want %v", names, want)
+		}
+	}
+}
+
 func TestWriteFileAtomicMissingDir(t *testing.T) {
 	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
 	if err == nil {

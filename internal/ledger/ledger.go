@@ -18,7 +18,15 @@
 //     (the bytes a crash mid-append could leave), and resumes appending
 //     after the last intact record.
 //
-// File layout:
+// Storage faults are first-class: the Writer is sticky-failed (poisoned)
+// after any write or sync error — once a frame may be torn mid-file,
+// further appends would bury it where recovery cannot truncate, so they
+// are refused until Rotate seals the damaged segment away and starts a
+// fresh one. A rotated ledger is a sequence of segments
+// ("<path>.seal-000001", ... plus the active "<path>"), and Replay
+// concatenates their intact records in order.
+//
+// File layout (every segment):
 //
 //	header : magic "DLG1" (u32 LE) | version (u32 LE)
 //	frame  : kind (u8) | payloadLen (u32 LE) | payload | crc32c (u32 LE)
@@ -30,12 +38,17 @@ package ledger
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"daasscale/internal/fsio"
 	"daasscale/internal/loop"
@@ -53,6 +66,9 @@ const (
 	// maxPayload bounds a single record payload; a length field beyond it
 	// is treated as corruption rather than an allocation request.
 	maxPayload = 1 << 24
+	// sealSuffix separates a sealed segment's sequence number from the
+	// active ledger path it was rotated out of.
+	sealSuffix = ".seal-"
 )
 
 // Record kinds.
@@ -64,6 +80,14 @@ const (
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWriterFailed marks a poisoned Writer: a previous append or sync
+// failed, the tail of the active segment may be torn, and further appends
+// are refused until Rotate starts a fresh segment. errors.Is(err,
+// ErrWriterFailed) distinguishes "refusing because already broken" from a
+// fresh storage error; errors.As/Is on the same error still reach the
+// root cause (EIO, ENOSPC, ...).
+var ErrWriterFailed = errors.New("ledger: writer failed; segment must be rotated")
 
 // LineItem is one interval's charge on a tenant's bill: which container
 // the tenant ran in and what it cost. Line items are derived from
@@ -106,33 +130,52 @@ func WithSyncEvery(n int) WriterOption {
 	return func(w *Writer) { w.syncEvery = n }
 }
 
-// Writer appends checksummed records to a ledger file. It is not
-// goroutine-safe; the serving daemon gives each tenant its own ledger and
-// serializes appends under the tenant's lock.
+// Writer appends checksummed records to the active segment of a ledger.
+// It is not goroutine-safe; the serving daemon gives each tenant its own
+// ledger and serializes appends under the tenant's lock.
+//
+// Failure is sticky: after any append or sync error the Writer is
+// poisoned — every further Append/Sync returns an error wrapping both
+// ErrWriterFailed and the original cause, and nothing more is written to
+// the possibly-torn segment. Rotate seals the damaged segment and opens a
+// fresh one, clearing the poison; Failed reports the latched cause.
 type Writer struct {
-	f         *os.File
+	fsys      fsio.FS
+	f         fsio.File
 	bw        *bufio.Writer
 	path      string
 	syncEvery int
 	pending   int
+	failed    error
 
 	records   int64
 	bytes     int64
 	recovered int64
 	syncs     int64
+	seals     int64
 }
 
-// OpenWriter opens (or creates) the ledger at path for appending. An
-// existing file is scanned first: a torn tail — an incomplete frame or a
-// checksum mismatch, as left by a crash mid-append — is truncated away so
-// appending resumes after the last intact record. A file that is not a
-// ledger (bad magic or version) is an error, never overwritten.
+// OpenWriter opens (or creates) the ledger at path on the real
+// filesystem. See OpenWriterFS.
 func OpenWriter(path string, opts ...WriterOption) (*Writer, error) {
-	w := &Writer{path: path, syncEvery: 1}
+	return OpenWriterFS(fsio.OS, path, opts...)
+}
+
+// OpenWriterFS opens (or creates) the active segment of the ledger at
+// path for appending, on the given filesystem. An existing file is
+// scanned first: a torn tail — an incomplete frame or a checksum
+// mismatch, as left by a crash mid-append — is truncated away so
+// appending resumes after the last intact record. A file holding a torn
+// prefix of the header itself (a power cut during creation) is rewritten
+// from scratch. A file that is not a ledger (bad magic or version) is an
+// error, never overwritten. Sealed sibling segments are left untouched;
+// Replay reads them, OpenWriterFS only appends to the active segment.
+func OpenWriterFS(fsys fsio.FS, path string, opts ...WriterOption) (*Writer, error) {
+	w := &Writer{fsys: fsys, path: path, syncEvery: 1}
 	for _, o := range opts {
 		o(w)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
@@ -141,19 +184,33 @@ func OpenWriter(path string, opts ...WriterOption) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
-	if st.Size() == 0 {
-		var hdr [headerLen]byte
-		binary.LittleEndian.PutUint32(hdr[0:], Magic)
-		binary.LittleEndian.PutUint32(hdr[4:], Version)
-		if _, err := f.Write(hdr[:]); err != nil {
+	size := st.Size()
+	if size > 0 && size < headerLen {
+		// A crash during segment creation can leave a prefix of the header.
+		// Only a byte-prefix of the canonical header is recovered this way —
+		// anything else is a foreign file we refuse to clobber.
+		data, err := io.ReadAll(f)
+		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("ledger: %w", err)
 		}
-		if err := f.Sync(); err != nil {
+		if !bytes.HasPrefix(headerBytes(), data) {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %s: not a ledger file (torn non-ledger prefix)", path)
+		}
+		if err := f.Truncate(0); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("ledger: %w", err)
 		}
-		if err := fsio.SyncDir(filepath.Dir(path)); err != nil {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: %w", err)
+		}
+		w.recovered = size
+		size = 0
+	}
+	if size == 0 {
+		if err := writeHeader(fsys, f, path); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -194,9 +251,59 @@ func OpenWriter(path string, opts ...WriterOption) (*Writer, error) {
 	return w, nil
 }
 
+// headerBytes returns the canonical segment header.
+func headerBytes() []byte {
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	return hdr[:]
+}
+
+// writeHeader writes and persists a fresh segment header: data fsync plus
+// directory fsync, so the segment exists durably before any record lands
+// in it. This is also the recovery probe — a disk that completes it can
+// take appends again.
+func writeHeader(fsys fsio.FS, f fsio.File, path string) error {
+	if _, err := f.Write(headerBytes()); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	return nil
+}
+
+// poisonErr wraps the latched failure for a refused operation.
+func (w *Writer) poisonErr() error {
+	return fmt.Errorf("%w: %w", ErrWriterFailed, w.failed)
+}
+
+// fail latches the first storage error, poisoning the writer.
+func (w *Writer) fail(err error) error {
+	if w.failed == nil {
+		w.failed = err
+	}
+	return err
+}
+
+// Failed returns the latched storage error that poisoned the writer, or
+// nil while it is healthy.
+func (w *Writer) Failed() error { return w.failed }
+
 // appendFrame writes one framed record and applies the sync policy.
+// Failure is sticky: after the first error the segment tail may be torn,
+// so every further append is refused until Rotate — appending past a torn
+// frame would bury it mid-file where recovery cannot truncate it.
 func (w *Writer) appendFrame(kind byte, payload []byte) error {
+	if w.failed != nil {
+		return w.poisonErr()
+	}
 	if len(payload) > maxPayload {
+		// An oversized record is a caller bug, not a storage fault: nothing
+		// was written, so the writer stays healthy.
 		return fmt.Errorf("ledger: record payload of %d bytes exceeds the %d-byte frame limit", len(payload), maxPayload)
 	}
 	var head [5]byte
@@ -205,15 +312,15 @@ func (w *Writer) appendFrame(kind byte, payload []byte) error {
 	crc := crc32.Update(0, crcTable, head[:])
 	crc = crc32.Update(crc, crcTable, payload)
 	if _, err := w.bw.Write(head[:]); err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.fail(fmt.Errorf("ledger: %w", err))
 	}
 	if _, err := w.bw.Write(payload); err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.fail(fmt.Errorf("ledger: %w", err))
 	}
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], crc)
 	if _, err := w.bw.Write(tail[:]); err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.fail(fmt.Errorf("ledger: %w", err))
 	}
 	w.records++
 	w.bytes += int64(frameOverhead + len(payload))
@@ -235,25 +342,150 @@ func (w *Writer) AppendLineItem(it LineItem) error {
 }
 
 // Sync flushes buffered frames and fsyncs the file: every record appended
-// so far is durable when Sync returns.
+// so far is durable when Sync returns. A flush or fsync error poisons the
+// writer (the segment tail state is unknown after a failed fsync).
 func (w *Writer) Sync() error {
+	if w.failed != nil {
+		return w.poisonErr()
+	}
 	if err := w.bw.Flush(); err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.fail(fmt.Errorf("ledger: %w", err))
 	}
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("ledger: %w", err)
+		return w.fail(fmt.Errorf("ledger: %w", err))
 	}
 	w.pending = 0
 	w.syncs++
 	return nil
 }
 
-// Close syncs and closes the file.
+// Rotate seals the active segment and starts a fresh one, clearing any
+// poison. The active file is renamed to "<path>.seal-NNNNNN" (its intact
+// prefix stays replayable; its possibly-torn tail is isolated where no
+// append can ever bury it) and a new active segment is created with a
+// fully fsync'd header — which doubles as the recovery probe write: if
+// Rotate returns nil, the disk demonstrably completed a create, a write,
+// an fsync, a rename, and a directory sync.
+//
+// On failure the writer stays (or becomes) poisoned and Rotate can be
+// retried; a half-completed previous rotation (segment already renamed)
+// is detected and resumed rather than treated as an error.
+func (w *Writer) Rotate() error {
+	// The old handle and any bytes buffered past the failure point are
+	// abandoned deliberately — they are exactly what must not reach disk.
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+		w.bw = nil
+	}
+	dir := filepath.Dir(w.path)
+	seq, err := nextSealSeq(w.fsys, w.path)
+	if err != nil {
+		return w.fail(fmt.Errorf("ledger: rotate: %w", err))
+	}
+	sealPath := w.path + sealSuffix + fmt.Sprintf("%06d", seq)
+	if err := w.fsys.Rename(w.path, sealPath); err != nil {
+		// A missing active segment means a previous Rotate attempt already
+		// renamed it (and failed later) — resume from there.
+		if !errors.Is(err, os.ErrNotExist) {
+			return w.fail(fmt.Errorf("ledger: rotate: %w", err))
+		}
+	}
+	if err := w.fsys.SyncDir(dir); err != nil {
+		return w.fail(fmt.Errorf("ledger: rotate: %w", err))
+	}
+	f, err := w.fsys.OpenFile(w.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return w.fail(fmt.Errorf("ledger: rotate: %w", err))
+	}
+	if err := writeHeader(w.fsys, f, w.path); err != nil {
+		f.Close()
+		return w.fail(err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.records = 0
+	w.bytes = headerLen
+	w.pending = 0
+	w.failed = nil
+	w.seals++
+	return nil
+}
+
+// nextSealSeq returns one past the highest existing seal sequence number
+// for path's segments.
+func nextSealSeq(fsys fsio.FS, path string) (int, error) {
+	seals, err := sealPaths(fsys, path)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, s := range seals {
+		if n, ok := sealSeq(filepath.Base(path), filepath.Base(s)); ok && n > max {
+			max = n
+		}
+	}
+	return max + 1, nil
+}
+
+// sealSeq extracts the sequence number from a sealed segment's base name.
+func sealSeq(activeBase, base string) (int, bool) {
+	rest, ok := strings.CutPrefix(base, activeBase+sealSuffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// sealPaths lists path's sealed segments in rotation order.
+func sealPaths(fsys fsio.FS, path string) ([]string, error) {
+	dir := filepath.Dir(path)
+	base := filepath.Base(path)
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type seal struct {
+		path string
+		seq  int
+	}
+	var seals []seal
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := sealSeq(base, e.Name()); ok {
+			seals = append(seals, seal{path: filepath.Join(dir, e.Name()), seq: n})
+		}
+	}
+	sort.Slice(seals, func(i, j int) bool { return seals[i].seq < seals[j].seq })
+	out := make([]string, len(seals))
+	for i, s := range seals {
+		out[i] = s.path
+	}
+	return out, nil
+}
+
+// Close syncs and closes the file. A poisoned writer skips the sync —
+// flushing buffered bytes after a failure could bury a torn frame — and
+// returns the poison error after releasing the handle.
 func (w *Writer) Close() error {
 	if w.f == nil {
+		if w.failed != nil {
+			return w.poisonErr()
+		}
 		return nil
 	}
-	syncErr := w.Sync()
+	var syncErr error
+	if w.failed != nil {
+		syncErr = w.poisonErr()
+	} else {
+		syncErr = w.Sync()
+	}
 	closeErr := w.f.Close()
 	w.f = nil
 	if syncErr != nil {
@@ -265,15 +497,16 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Path returns the ledger file path.
+// Path returns the active segment's file path.
 func (w *Writer) Path() string { return w.path }
 
-// Records returns the number of records in the ledger, including those
-// recovered from a previous writer's file.
+// Records returns the number of records in the active segment, including
+// those recovered from a previous writer's file. Sealed segments' records
+// are visible through Replay, not here.
 func (w *Writer) Records() int64 { return w.records }
 
-// Bytes returns the ledger's current byte length (buffered appends
-// included).
+// Bytes returns the active segment's current byte length (buffered
+// appends included).
 func (w *Writer) Bytes() int64 { return w.bytes }
 
 // RecoveredBytes reports how many torn-tail bytes OpenWriter truncated
@@ -283,12 +516,16 @@ func (w *Writer) RecoveredBytes() int64 { return w.recovered }
 // Syncs returns the number of fsync batches issued.
 func (w *Writer) Syncs() int64 { return w.syncs }
 
+// Seals returns how many segments this writer has sealed via Rotate.
+func (w *Writer) Seals() int64 { return w.seals }
+
 // Recorder adapts a Writer to the loop.Recorder interface: every
 // DecisionRecord is appended together with its derived billing line-item,
 // so the decision trail and the bill advance in lockstep. loop.Recorder
 // cannot return errors; the first append failure is latched and must be
 // checked via Err after the run (the serving daemon checks it after every
-// ingest batch).
+// ingest batch). The Writer itself is also poisoned by the failed append,
+// so even a caller that ignores Err cannot keep writing past the damage.
 type Recorder struct {
 	// W is the destination ledger.
 	W *Writer

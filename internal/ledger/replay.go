@@ -2,10 +2,12 @@ package ledger
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 
+	"daasscale/internal/fsio"
 	"daasscale/internal/loop"
 )
 
@@ -20,16 +22,24 @@ type Entry struct {
 	Item *LineItem
 }
 
-// Log is the full replayed contents of one ledger file.
+// Log is the full replayed contents of one ledger — every segment
+// (sealed and active), concatenated in rotation order.
 type Log struct {
 	// Entries holds every intact record in append order.
 	Entries []Entry
-	// GoodBytes is the byte offset of the end of the last intact record.
+	// GoodBytes sums, over all segments, the byte offset of the end of
+	// each segment's last intact record. For an unrotated ledger this is
+	// the offset of the end of the last intact record in the file.
 	GoodBytes int64
-	// Truncated reports whether bytes past GoodBytes were ignored — the
-	// torn tail a crash mid-append leaves. The intact prefix is still
-	// fully usable; OpenWriter removes the tail when it next appends.
+	// Truncated reports whether any segment carried bytes past its intact
+	// records — the torn tail a crash mid-append leaves. The intact
+	// records are still fully usable; OpenWriter removes an active
+	// segment's tail when it next appends, and a sealed segment's tail is
+	// permanently isolated by the rotation.
 	Truncated bool
+	// Segments is how many segment files were replayed (1 for an
+	// unrotated ledger).
+	Segments int
 }
 
 // Decisions extracts the decision records in append order.
@@ -119,18 +129,48 @@ func scanFrames(data []byte, visit func(kind byte, payload []byte) error) (good 
 	}
 }
 
-// Replay reads a ledger file back into memory: every intact record, in
-// append order, byte-faithfully decoded. It is the inverse of the Writer —
-// for any recorded run, Replay(path).Decisions() equals the live
-// Collector's records and the line-items re-derive the bill exactly. A
-// torn tail is reported via Log.Truncated, not an error; an unreadable or
-// non-ledger file is an error.
+// Replay reads a ledger back into memory from the real filesystem. See
+// ReplayFS.
 func Replay(path string) (*Log, error) {
-	data, err := os.ReadFile(path)
+	return ReplayFS(fsio.OS, path)
+}
+
+// ReplayFS reads a ledger back into memory: every intact record of every
+// segment — sealed segments in rotation order, then the active file — in
+// append order, byte-faithfully decoded. It is the inverse of the Writer:
+// for any recorded run, Decisions() equals the live Collector's records
+// and the line-items re-derive the bill exactly, across rotations. A torn
+// tail is reported via Log.Truncated, not an error; an unreadable or
+// non-ledger segment is an error. An absent active file is tolerated when
+// sealed segments exist (a crash can land between the rotation's rename
+// and the new segment's create); with no segments at all the path's
+// os.ErrNotExist surfaces.
+func ReplayFS(fsys fsio.FS, path string) (*Log, error) {
+	seals, err := sealPaths(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
 	log := &Log{}
+	for _, seg := range seals {
+		if err := replaySegment(fsys, seg, log); err != nil {
+			return nil, err
+		}
+	}
+	if err := replaySegment(fsys, path, log); err != nil {
+		if len(seals) > 0 && errors.Is(err, os.ErrNotExist) {
+			return log, nil
+		}
+		return nil, err
+	}
+	return log, nil
+}
+
+// replaySegment decodes one segment file into log.
+func replaySegment(fsys fsio.FS, path string, log *Log) error {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
 	good, _, err := scanFrames(data, func(kind byte, payload []byte) error {
 		switch kind {
 		case KindDecision:
@@ -151,9 +191,28 @@ func Replay(path string) (*Log, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ledger: %s: %w", path, err)
+		return fmt.Errorf("ledger: %s: %w", path, err)
 	}
-	log.GoodBytes = good
-	log.Truncated = good < int64(len(data))
-	return log, nil
+	log.GoodBytes += good
+	log.Truncated = log.Truncated || good < int64(len(data))
+	log.Segments++
+	return nil
+}
+
+// StreamBytes re-encodes the log's entries into the byte stream the live
+// writer framed, payloads only, in append order. Because the encoding is
+// deterministic this reproduces the originally-written payload bytes
+// exactly, so "replay is a prefix of the live stream" can be checked as
+// plain byte comparison even across segment rotations.
+func (l *Log) StreamBytes() []byte {
+	var out []byte
+	for _, e := range l.Entries {
+		switch {
+		case e.Decision != nil:
+			out = append(out, EncodeDecision(e.Decision)...)
+		case e.Item != nil:
+			out = append(out, EncodeLineItem(e.Item)...)
+		}
+	}
+	return out
 }

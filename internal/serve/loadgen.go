@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,21 +61,51 @@ type LoadSpec struct {
 	// Concurrency bounds the streams in flight at once (0 = Tenants,
 	// capped at 512 to stay within default socket limits).
 	Concurrency int
+	// MaxRetries bounds how often one batch is re-sent after a 429 or 503
+	// before it is counted as an error (0 = DefaultMaxRetries; < 0
+	// disables retrying). Retries honor the server's Retry-After header,
+	// capped at maxRetrySleep.
+	MaxRetries int
+	// Sleep is the retry backoff sleeper (nil = time.Sleep). Injectable
+	// so retry tests do not wait wall-clock.
+	Sleep func(time.Duration)
 	// Client is the HTTP client (nil = a pooled default).
 	Client *http.Client
 }
+
+// DefaultMaxRetries is the default per-batch retry budget for 429/503
+// responses.
+const DefaultMaxRetries = 4
+
+// maxRetrySleep caps how long one Retry-After header can stall a stream —
+// a load generator should back off, not hibernate.
+const maxRetrySleep = 2 * time.Second
 
 // LoadResult is RunLoad's aggregate outcome.
 type LoadResult struct {
 	// Tenants and Snapshots echo the spec.
 	Tenants   int   `json:"tenants"`
 	Snapshots int64 `json:"snapshots"`
-	// Accepted is the snapshots the server acknowledged as accepted.
-	Accepted int64 `json:"accepted"`
+	// Accepted is the snapshots the server acknowledged as newly accepted;
+	// Duplicates counts re-sends of already-decided intervals (a resumed or
+	// retried stream is completed by Accepted and Duplicates together).
+	Accepted   int64 `json:"accepted"`
+	Duplicates int64 `json:"duplicates"`
 	// Requests is the POSTs issued; Errors counts transport failures and
-	// non-200 responses (rate-limit 429s land here too).
+	// responses that stayed failed after the retry budget (a 429/503 that
+	// a retry resolved is not an error).
 	Requests int64 `json:"requests"`
 	Errors   int64 `json:"errors"`
+	// Throttled and Degraded count 429 and 503 responses (including ones
+	// later resolved by retry); Retries counts the re-sends they caused.
+	Throttled int64 `json:"throttled"`
+	Degraded  int64 `json:"degraded"`
+	Retries   int64 `json:"retries"`
+	// Acked is the ground truth for the crash-consistency checker: per
+	// tenant, the highest NextSeq any 200/429 reply carried. Every
+	// interval below it was durably decided when the reply was written,
+	// so VerifyLedgers can assert none of them is ever lost.
+	Acked map[string]int `json:"acked,omitempty"`
 	// DurationSeconds is the wall-clock of the whole run.
 	DurationSeconds float64 `json:"duration_seconds"`
 	// SnapshotsPerSec is the sustained ingest throughput.
@@ -110,13 +142,35 @@ func RunLoad(ctx context.Context, spec LoadSpec) (LoadResult, error) {
 		}
 	}
 
+	maxRetries := spec.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	sleep := spec.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
-		accepted, requests, errors int64
-		firstErr                   error
-		errOnce                    sync.Once
+		accepted, duplicates, requests, errors int64
+		throttled, degraded, retries           int64
+		firstErr                               error
+		errOnce                                sync.Once
 	)
+	ackMu := sync.Mutex{}
+	acked := make(map[string]int)
+	recordAck := func(id string, nextSeq int) {
+		ackMu.Lock()
+		if nextSeq > acked[id] {
+			acked[id] = nextSeq
+		}
+		ackMu.Unlock()
+	}
 	fail := func(err error) {
 		errOnce.Do(func() {
 			firstErr = err
@@ -152,29 +206,62 @@ func RunLoad(ctx context.Context, spec LoadSpec) (LoadResult, error) {
 						fail(err)
 						return
 					}
-					req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(buf))
-					if err != nil {
-						fail(err)
-						return
-					}
-					req.Header.Set("Content-Type", "application/json")
-					resp, err := client.Do(req)
-					if err != nil {
-						if ctx.Err() == nil {
+					// One batch, with a bounded retry budget for clean
+					// refusals (429 backpressure, 503 degraded storage). The
+					// server's idempotency makes re-sending the whole batch
+					// safe: decided intervals come back as duplicates.
+					for attempt := 0; ; attempt++ {
+						req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(buf))
+						if err != nil {
 							fail(err)
+							return
 						}
-						return
+						req.Header.Set("Content-Type", "application/json")
+						resp, err := client.Do(req)
+						if err != nil {
+							if ctx.Err() == nil {
+								fail(err)
+							}
+							return
+						}
+						atomic.AddInt64(&requests, 1)
+						var reply ingestReply
+						decErr := json.NewDecoder(resp.Body).Decode(&reply)
+						retryAfter := resp.Header.Get("Retry-After")
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						switch {
+						case decErr == nil && resp.StatusCode == http.StatusOK:
+							atomic.AddInt64(&accepted, int64(reply.Accepted))
+							atomic.AddInt64(&duplicates, int64(reply.Duplicates))
+							recordAck(id, reply.NextSeq)
+						case decErr == nil && (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable):
+							if resp.StatusCode == http.StatusTooManyRequests {
+								atomic.AddInt64(&throttled, 1)
+								// A 429's counts are authoritative: what was
+								// accepted before the bucket emptied is durable.
+								atomic.AddInt64(&accepted, int64(reply.Accepted))
+								atomic.AddInt64(&duplicates, int64(reply.Duplicates))
+								recordAck(id, reply.NextSeq)
+							} else {
+								// A 503 acknowledges nothing — by contract the
+								// server never acks what it could not persist.
+								atomic.AddInt64(&degraded, 1)
+							}
+							if attempt < maxRetries {
+								atomic.AddInt64(&retries, 1)
+								sleep(retryDelay(retryAfter))
+								if ctx.Err() != nil {
+									return
+								}
+								continue
+							}
+							atomic.AddInt64(&errors, 1)
+						default:
+							atomic.AddInt64(&errors, 1)
+						}
+						break
 					}
-					atomic.AddInt64(&requests, 1)
-					var reply ingestReply
-					decErr := json.NewDecoder(resp.Body).Decode(&reply)
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK || decErr != nil {
-						atomic.AddInt64(&errors, 1)
-						continue
-					}
-					atomic.AddInt64(&accepted, int64(reply.Accepted))
 				}
 			}
 		}()
@@ -196,8 +283,13 @@ func RunLoad(ctx context.Context, spec LoadSpec) (LoadResult, error) {
 		Tenants:         spec.Tenants,
 		Snapshots:       int64(spec.Tenants) * int64(spec.Snapshots),
 		Accepted:        accepted,
+		Duplicates:      duplicates,
 		Requests:        requests,
 		Errors:          errors,
+		Throttled:       throttled,
+		Degraded:        degraded,
+		Retries:         retries,
+		Acked:           acked,
 		DurationSeconds: dur.Seconds(),
 	}
 	if s := dur.Seconds(); s > 0 {
@@ -205,4 +297,16 @@ func RunLoad(ctx context.Context, spec LoadSpec) (LoadResult, error) {
 		res.RequestsPerSec = float64(requests) / s
 	}
 	return res, firstErr
+}
+
+// retryDelay resolves a Retry-After header into a bounded backoff.
+func retryDelay(header string) time.Duration {
+	d := time.Second
+	if n, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && n > 0 {
+		d = time.Duration(n) * time.Second
+	}
+	if d > maxRetrySleep {
+		d = maxRetrySleep
+	}
+	return d
 }

@@ -25,6 +25,10 @@ type metrics struct {
 	decisions   int64
 	decLat      *stats.Sketch
 	decLatSumNs int64
+
+	storageErrors int64
+	quarantines   int64
+	recoveries    int64
 }
 
 func newMetrics(now time.Time) *metrics {
@@ -40,6 +44,22 @@ func (m *metrics) addRequest() {
 func (m *metrics) addError() {
 	m.mu.Lock()
 	m.errors++
+	m.mu.Unlock()
+}
+
+// addQuarantine counts one storage failure escalating to tenant
+// quarantine.
+func (m *metrics) addQuarantine() {
+	m.mu.Lock()
+	m.storageErrors++
+	m.quarantines++
+	m.mu.Unlock()
+}
+
+// addRecovery counts one successful recovery probe re-admitting a tenant.
+func (m *metrics) addRecovery() {
+	m.mu.Lock()
+	m.recoveries++
 	m.mu.Unlock()
 }
 
@@ -84,6 +104,18 @@ type ledgerMetrics struct {
 	Records int64 `json:"records"`
 	Bytes   int64 `json:"bytes"`
 	Syncs   int64 `json:"syncs"`
+	// Seals counts segments sealed away by degraded-mode rotations.
+	Seals int64 `json:"seals"`
+}
+
+// storageMetrics summarizes the storage-fault machinery: how many
+// failures were seen, how the quarantine/recover cycle has gone, and how
+// many tenants are degraded right now.
+type storageMetrics struct {
+	Errors         int64 `json:"errors"`
+	Quarantines    int64 `json:"quarantines"`
+	Recoveries     int64 `json:"recoveries"`
+	QuarantinedNow int   `json:"quarantined_now"`
 }
 
 // MetricsSnapshot is the /metrics response body.
@@ -104,6 +136,7 @@ type MetricsSnapshot struct {
 	Decisions         int64          `json:"decisions"`
 	DecisionLatency   latencyMetrics `json:"decision_latency"`
 	Ledger            ledgerMetrics  `json:"ledger"`
+	Storage           storageMetrics `json:"storage"`
 }
 
 func (m *metrics) snapshot(now time.Time, tenants, depth int, draining bool) MetricsSnapshot {
@@ -124,6 +157,11 @@ func (m *metrics) snapshot(now time.Time, tenants, depth int, draining bool) Met
 		RateLimited:       m.rateLimited,
 		SanitizedFields:   m.sanitized,
 		Decisions:         m.decisions,
+		Storage: storageMetrics{
+			Errors:      m.storageErrors,
+			Quarantines: m.quarantines,
+			Recoveries:  m.recoveries,
+		},
 	}
 	if up > 0 {
 		snap.IngestPerSec = float64(m.ingested) / up

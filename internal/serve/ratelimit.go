@@ -1,6 +1,9 @@
 package serve
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // tokenBucket is a classic per-tenant token bucket: capacity `burst`
 // tokens, refilled at `rate` tokens/second, one token per ingested
@@ -35,4 +38,21 @@ func (b *tokenBucket) allow(now time.Time) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// retryAfterSec estimates, in whole seconds (minimum 1, the header's
+// resolution), how long until the bucket holds a token again. Called
+// right after a refused allow, so the refill is already up to date.
+func (b *tokenBucket) retryAfterSec() int {
+	if b == nil || b.rate <= 0 {
+		return 1
+	}
+	need := 1 - b.tokens
+	if need <= 0 {
+		return 1
+	}
+	if sec := int(math.Ceil(need / b.rate)); sec > 1 {
+		return sec
+	}
+	return 1
 }

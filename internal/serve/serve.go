@@ -32,15 +32,17 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
-	"os"
 	"regexp"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"daasscale/internal/core"
 	"daasscale/internal/exec"
+	"daasscale/internal/fsio"
 	"daasscale/internal/ledger"
 	"daasscale/internal/loop"
 	"daasscale/internal/policy"
@@ -57,6 +59,9 @@ const (
 	// DefaultBurst is the default rate-limiter bucket size when a rate is
 	// set without an explicit burst.
 	DefaultBurst = 64
+	// DefaultProbeInterval is the default pacing between a quarantined
+	// tenant's recovery probes, and the Retry-After hint on degraded 503s.
+	DefaultProbeInterval = 5 * time.Second
 )
 
 // tenantIDPattern constrains tenant IDs to ledger-filename-safe tokens.
@@ -98,6 +103,16 @@ type Config struct {
 	// MaxTenants caps the tenant map (0 = unlimited). Ingest for a new
 	// tenant beyond the cap is refused with 503.
 	MaxTenants int
+	// FS is the filesystem every ledger write goes through (nil =
+	// fsio.OS, the real disk). The crash-consistency harness substitutes
+	// a fault-injecting or crash-simulating implementation; production
+	// always runs on the default.
+	FS fsio.FS
+	// ProbeInterval paces a quarantined tenant's recovery probes (0 =
+	// DefaultProbeInterval): after a storage error, at most one ledger
+	// rotation probe is attempted per interval, and degraded 503s carry
+	// it as the Retry-After hint.
+	ProbeInterval time.Duration
 	// Now is the clock (nil = time.Now). Injectable for rate-limit and
 	// metrics tests; decisions never depend on it.
 	Now func() time.Time
@@ -115,6 +130,8 @@ type Server struct {
 	goalMs        float64
 	reorderWindow int
 	syncEvery     int
+	fs            fsio.FS
+	probeInterval time.Duration
 	now           func() time.Time
 	mux           *http.ServeMux
 	metrics       *metrics
@@ -130,17 +147,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.LedgerDir == "" {
 		return nil, fmt.Errorf("serve: Config.LedgerDir is required")
 	}
-	if err := os.MkdirAll(cfg.LedgerDir, 0o755); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
-	}
 	s := &Server{
 		cfg:           cfg,
 		cat:           cfg.Catalog,
 		goalMs:        cfg.GoalMs,
 		reorderWindow: cfg.ReorderWindow,
 		syncEvery:     cfg.SyncEvery,
+		fs:            cfg.FS,
+		probeInterval: cfg.ProbeInterval,
 		now:           cfg.Now,
 		tenants:       make(map[string]*tenant),
+	}
+	if s.fs == nil {
+		s.fs = fsio.OS
+	}
+	if s.probeInterval <= 0 {
+		s.probeInterval = DefaultProbeInterval
+	}
+	if err := s.fs.MkdirAll(cfg.LedgerDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	if s.cat == nil {
 		s.cat = resource.DefaultCatalog()
@@ -241,7 +266,9 @@ func (s *Server) getTenant(id string) (*tenant, int, error) {
 	}
 	t, err := s.newTenant(id)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		// A tenant that cannot open its ledger is a storage refusal, not a
+		// server bug: 503, retry once the disk recovers.
+		return nil, http.StatusServiceUnavailable, err
 	}
 	s.tenants[id] = t
 	return t, http.StatusOK, nil
@@ -346,6 +373,9 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 
 	t, status, err := s.getTenant(id)
 	if err != nil {
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", s.degradedRetryAfter())
+		}
 		s.fail(w, status, err)
 		return
 	}
@@ -356,10 +386,29 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		s.metrics.addError()
 		reply.Error = err.Error()
 	}
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+	switch status {
+	case http.StatusTooManyRequests:
+		sec := counts.RetryAfterSec
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+	case http.StatusServiceUnavailable:
+		// Degraded: nothing in this request is acknowledged; retry after
+		// the next recovery probe will have had a chance to run.
+		w.Header().Set("Retry-After", s.degradedRetryAfter())
 	}
 	writeJSON(w, status, reply)
+}
+
+// degradedRetryAfter is the Retry-After value for degraded-mode 503s:
+// the probe interval, rounded up to whole seconds.
+func (s *Server) degradedRetryAfter() string {
+	sec := int(math.Ceil(s.probeInterval.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.Itoa(sec)
 }
 
 // decisionsReply is the decisions response body.
@@ -416,13 +465,37 @@ func (s *Server) handleBill(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	n := len(s.tenants)
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
 	draining := s.draining
 	s.mu.RUnlock()
+	quarantined := []string{}
+	for _, t := range tenants {
+		t.mu.Lock()
+		if t.quarantined {
+			quarantined = append(quarantined, t.id)
+		}
+		t.mu.Unlock()
+	}
+	sort.Strings(quarantined)
+	status := "ok"
+	switch {
+	case draining:
+		status = "draining"
+	case len(quarantined) > 0:
+		// Degraded but alive: healthy tenants still serve; quarantined
+		// ones refuse cleanly. The process should not be restarted for
+		// this — the disk is the problem.
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":   map[bool]string{false: "ok", true: "draining"}[draining],
-		"tenants":  n,
-		"draining": draining,
+		"status":              status,
+		"tenants":             len(tenants),
+		"draining":            draining,
+		"quarantined":         len(quarantined),
+		"quarantined_tenants": quarantined,
 	})
 }
 
@@ -435,31 +508,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	draining := s.draining
 	s.mu.RUnlock()
 
-	var depth int
-	var records, bytes, syncs int64
+	var depth, quarantined int
+	var records, bytes, syncs, seals int64
 	for _, t := range tenants {
 		t.mu.Lock()
 		depth += len(t.buf)
 		records += t.led.Records()
 		bytes += t.led.Bytes()
 		syncs += t.led.Syncs()
+		seals += t.led.Seals()
+		if t.quarantined {
+			quarantined++
+		}
 		t.mu.Unlock()
 	}
 	snap := s.metrics.snapshot(s.now(), len(tenants), depth, draining)
-	snap.Ledger = ledgerMetrics{Records: records, Bytes: bytes, Syncs: syncs}
+	snap.Ledger = ledgerMetrics{Records: records, Bytes: bytes, Syncs: syncs, Seals: seals}
+	snap.Storage.QuarantinedNow = quarantined
 	writeJSON(w, http.StatusOK, snap)
 }
 
 // replay syncs the tenant's ledger and reads it back — the query
 // endpoints serve from the ledger itself, so what they return is by
 // construction what a post-hoc audit would reproduce.
+//
+// A quarantined (or freshly failing) tenant still answers: the sync is
+// skipped — a poisoned writer has nothing flushable that is safe to
+// flush — and the reply is the durable prefix, which is correct by
+// definition. Refusal is reserved for writes; reads of the durable
+// record are always safe to serve.
 func (t *tenant) replay() (*ledger.Log, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.led.Sync(); err != nil {
-		return nil, err
+	if !t.quarantined && t.led.Failed() == nil {
+		if err := t.led.Sync(); err != nil {
+			t.quarantine(err)
+		}
 	}
-	return ledger.Replay(t.led.Path())
+	return ledger.ReplayFS(t.srv.fs, t.led.Path())
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {

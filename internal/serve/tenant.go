@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"daasscale/internal/ledger"
 	"daasscale/internal/loop"
@@ -66,10 +67,19 @@ type tenant struct {
 	// resumed reports whether the tenant's watermark was restored from an
 	// existing ledger at open.
 	resumed bool
+
+	// quarantined marks the degraded mode: a storage error poisoned the
+	// pipeline, ingest is refused with 503 until a recovery probe
+	// succeeds. quarErr is the latched cause; lastProbe paces probes.
+	quarantined bool
+	quarErr     error
+	lastProbe   time.Time
 }
 
 // ingestCounts summarizes what one ingest call did, for the HTTP reply
-// and the metrics.
+// and the metrics. NextSeq is the durability acknowledgment: in a 200 or
+// 429 reply every interval below it is decided and (in the strict sync
+// modes) on disk; in an error reply it is zero and acknowledges nothing.
 type ingestCounts struct {
 	Accepted    int `json:"accepted"`
 	Duplicates  int `json:"duplicates"`
@@ -78,6 +88,8 @@ type ingestCounts struct {
 	RateLimited int `json:"rate_limited"`
 	NextSeq     int `json:"next_seq"`
 	BufferDepth int `json:"buffer_depth"`
+	// RetryAfterSec mirrors the Retry-After header on a 429 reply.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // newTenant assembles the pipeline, resuming the ingest watermark and the
@@ -85,56 +97,69 @@ type ingestCounts struct {
 // continues the decision sequence instead of re-billing interval 0.
 func (s *Server) newTenant(id string) (*tenant, error) {
 	path := filepath.Join(s.cfg.LedgerDir, id+".ledger")
-	led, err := ledger.OpenWriter(path, ledger.WithSyncEvery(s.syncEvery))
+	led, err := ledger.OpenWriterFS(s.fs, path, ledger.WithSyncEvery(s.syncEvery))
 	if err != nil {
 		return nil, err
 	}
-
-	t := &tenant{
-		id:      id,
-		srv:     s,
-		applier: &stateApplier{cur: s.cat.Smallest()},
-		led:     led,
-		buf:     make(map[int]telemetry.Snapshot),
-		bucket:  s.newBucket(),
-	}
-	if led.Records() > 0 {
-		log, err := ledger.Replay(path)
-		if err != nil {
-			led.Close()
-			return nil, err
-		}
-		if last := log.LastDecisionInterval(); last >= 0 {
-			t.nextSeq = last + 1
-			t.resumed = true
-		}
-		// Resume the substrate from the last decided target, so billing
-		// and hold decisions continue from the container the tenant was
-		// actually left in.
-		decs := log.Decisions()
-		if n := len(decs); n > 0 {
-			if c, ok := s.cat.ByName(decs[n-1].Target); ok {
-				t.applier.cur = c
-			}
-			t.applier.memMB = decs[n-1].BalloonTargetMB
-		}
-	}
-
-	pol, err := s.newPolicy(id, t.applier.cur)
+	t := &tenant{id: id, srv: s, led: led, bucket: s.newBucket()}
+	log, err := ledger.ReplayFS(s.fs, path)
 	if err != nil {
 		led.Close()
 		return nil, err
 	}
-	t.ledRec = &ledger.Recorder{W: led}
+	if err := t.healBill(log); err != nil {
+		led.Close()
+		return nil, err
+	}
+	if err := t.resetFromLog(log); err != nil {
+		led.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// resetFromLog (re)builds the tenant's in-memory pipeline — applier,
+// policy, loop, watermark — from a replayed ledger. It is the only way
+// loop state is ever constructed: at first open and again after a
+// quarantine, because once a storage error fires the in-memory loop has
+// run ahead of disk and cannot be trusted; the durable record is the
+// ground truth the pipeline restarts from.
+func (t *tenant) resetFromLog(log *ledger.Log) error {
+	s := t.srv
+	t.applier = &stateApplier{cur: s.cat.Smallest()}
+	t.buf = make(map[int]telemetry.Snapshot)
+	t.nextSeq = 0
+	t.resumed = false
+	t.prev = telemetry.Snapshot{}
+	t.havePrev = false
+	if last := log.LastDecisionInterval(); last >= 0 {
+		t.nextSeq = last + 1
+		t.resumed = true
+	}
+	// Resume the substrate from the last decided target, so billing and
+	// hold decisions continue from the container the tenant was actually
+	// left in.
+	decs := log.Decisions()
+	if n := len(decs); n > 0 {
+		if c, ok := s.cat.ByName(decs[n-1].Target); ok {
+			t.applier.cur = c
+		}
+		t.applier.memMB = decs[n-1].BalloonTargetMB
+	}
+	pol, err := s.newPolicy(t.id, t.applier.cur)
+	if err != nil {
+		return err
+	}
+	t.ledRec = &ledger.Recorder{W: t.led}
 	var rec loop.Recorder = t.ledRec
 	if s.cfg.TeeRecorder != nil {
-		if extra := s.cfg.TeeRecorder(id); extra != nil {
+		if extra := s.cfg.TeeRecorder(t.id); extra != nil {
 			rec = teeRecorder{t.ledRec, extra}
 		}
 	}
 	t.lp = loop.New(loop.Config[resource.Container]{
-		ID:   id,
-		Seed: s.tenantSeed(id),
+		ID:   t.id,
+		Seed: s.tenantSeed(t.id),
 		Decider: &loop.PolicyDecider{
 			Policy:       pol,
 			MemoryTarget: func() float64 { return t.applier.memMB },
@@ -143,7 +168,83 @@ func (s *Server) newTenant(id string) (*tenant, error) {
 		Recorder: rec,
 		Describe: loop.DescribeContainer,
 	})
-	return t, nil
+	return nil
+}
+
+// healBill repairs the one lockstep break a torn tail can leave: a
+// trailing decision whose line item never made it to disk. The missing
+// item is derived deterministically from the decision — byte-identical to
+// what the live writer would have appended — and synced, so the interval
+// is billed exactly once and the bill can never disagree with the
+// decision trail. The healed entry is appended to log too, keeping the
+// caller's view consistent with disk.
+func (t *tenant) healBill(log *ledger.Log) error {
+	n := len(log.Entries)
+	if n == 0 || log.Entries[n-1].Decision == nil {
+		return nil
+	}
+	it := ledger.LineItemFor(*log.Entries[n-1].Decision)
+	if err := t.led.AppendLineItem(it); err != nil {
+		return err
+	}
+	if err := t.led.Sync(); err != nil {
+		return err
+	}
+	log.Entries = append(log.Entries, ledger.Entry{Kind: ledger.KindLineItem, Item: &it})
+	return nil
+}
+
+// quarantine enters degraded mode: the cause is latched, the reorder
+// buffer is dropped (nothing in it was ever acknowledged as durable — the
+// client's resend covers it; keeping it would risk acking it later from a
+// pipeline that has diverged from disk), and until a recovery probe
+// succeeds every ingest gets a clean 503.
+func (t *tenant) quarantine(err error) {
+	if !t.quarantined {
+		t.srv.metrics.addQuarantine()
+	}
+	t.quarantined = true
+	t.quarErr = err
+	t.lastProbe = t.srv.now()
+	t.buf = make(map[int]telemetry.Snapshot)
+}
+
+// tryRecover attempts to leave degraded mode, paced by the server's probe
+// interval. The probe is ledger rotation itself: sealing the damaged
+// segment and creating a fresh one exercises create, write, fsync,
+// rename, and directory sync — if all of that works the disk has
+// demonstrably recovered, and the pipeline is rebuilt from the durable
+// record. Returns true when the tenant is healthy again.
+func (t *tenant) tryRecover() bool {
+	now := t.srv.now()
+	if now.Sub(t.lastProbe) < t.srv.probeInterval {
+		return false
+	}
+	t.lastProbe = now
+	if err := t.rebuild(); err != nil {
+		t.quarErr = err
+		return false
+	}
+	t.quarantined = false
+	t.quarErr = nil
+	t.srv.metrics.addRecovery()
+	return true
+}
+
+// rebuild rotates the ledger (the probe write) and reconstructs the whole
+// in-memory pipeline from the replayed durable record.
+func (t *tenant) rebuild() error {
+	if err := t.led.Rotate(); err != nil {
+		return err
+	}
+	log, err := ledger.ReplayFS(t.srv.fs, t.led.Path())
+	if err != nil {
+		return err
+	}
+	if err := t.healBill(log); err != nil {
+		return err
+	}
+	return t.resetFromLog(log)
 }
 
 // step runs one interval through the control loop and the ledger.
@@ -231,15 +332,25 @@ func (t *tenant) flushOverflow(counts *ingestCounts) error {
 // tenant lock. Each snapshot charges one rate-limiter token; when the
 // bucket empties the rest of the batch is refused (the client retries
 // with backoff) without touching the decided prefix.
+//
+// Storage failure is fail-safe, never fail-silent: any step or sync error
+// quarantines the tenant and the reply is a 503 whose counts acknowledge
+// nothing — the client resends after Retry-After, and because decided
+// intervals are duplicates, the resend is harmless. A quarantined tenant
+// answers 503 immediately (after at most one recovery probe).
 func (t *tenant) ingest(batch []wireSnapshot) (ingestCounts, int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
 	counts := ingestCounts{}
+	if t.quarantined && !t.tryRecover() {
+		return counts, http.StatusServiceUnavailable, fmt.Errorf("serve: tenant %s degraded (storage failure): %v", t.id, t.quarErr)
+	}
 	status := http.StatusOK
 	for _, ws := range batch {
 		if !t.bucket.allow(t.srv.now()) {
 			counts.RateLimited++
+			counts.RetryAfterSec = t.bucket.retryAfterSec()
 			status = http.StatusTooManyRequests
 			break
 		}
@@ -252,12 +363,14 @@ func (t *tenant) ingest(batch []wireSnapshot) (ingestCounts, int, error) {
 			counts.Duplicates++ // already decided (or flushed as a gap)
 		case seq == t.nextSeq:
 			if err := t.step(seq, ws.Snapshot, true); err != nil {
-				return counts, http.StatusInternalServerError, err
+				t.quarantine(err)
+				return ingestCounts{}, http.StatusServiceUnavailable, err
 			}
 			counts.Accepted++
 			t.nextSeq++
 			if err := t.drainReady(&counts); err != nil {
-				return counts, http.StatusInternalServerError, err
+				t.quarantine(err)
+				return ingestCounts{}, http.StatusServiceUnavailable, err
 			}
 		default: // future: buffer within the bounded reorder window
 			if _, dup := t.buf[seq]; dup {
@@ -267,16 +380,19 @@ func (t *tenant) ingest(batch []wireSnapshot) (ingestCounts, int, error) {
 			t.buf[seq] = ws.Snapshot
 			counts.Buffered++
 			if err := t.flushOverflow(&counts); err != nil {
-				return counts, http.StatusInternalServerError, err
+				t.quarantine(err)
+				return ingestCounts{}, http.StatusServiceUnavailable, err
 			}
 		}
 	}
 	// Request-sync mode (SyncEvery < 0) defers durability to one fsync
 	// here, after the whole batch; per-record and group-commit strides
-	// are the writer's own policy.
+	// are the writer's own policy. Either way the fsync must succeed
+	// before NextSeq is reported — the reply is the durability ack.
 	if t.srv.syncEvery < 0 {
 		if err := t.led.Sync(); err != nil {
-			return counts, http.StatusInternalServerError, err
+			t.quarantine(err)
+			return ingestCounts{}, http.StatusServiceUnavailable, err
 		}
 	}
 	counts.NextSeq = t.nextSeq
@@ -288,9 +404,19 @@ func (t *tenant) ingest(batch []wireSnapshot) (ingestCounts, int, error) {
 // withheld intervals, buffered snapshots decided in order — then syncs
 // and closes the ledger. Called on graceful shutdown so nothing received
 // is lost.
+//
+// A quarantined tenant is drained by releasing the handle, nothing more:
+// its buffer was already dropped (nothing in it was acked), and stepping
+// through a poisoned ledger would either fail again or bury torn frames.
+// Crucially this cannot hang or spuriously ack — the quarantined path
+// does no I/O that can block and records nothing new.
 func (t *tenant) drain() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.quarantined {
+		t.led.Close()
+		return nil
+	}
 	var counts ingestCounts
 	for len(t.buf) > 0 {
 		min := -1
@@ -301,11 +427,15 @@ func (t *tenant) drain() error {
 		}
 		for i := t.nextSeq; i < min; i++ {
 			if err := t.step(i, telemetry.Snapshot{}, false); err != nil {
+				t.quarantine(err)
+				t.led.Close()
 				return err
 			}
 			t.nextSeq++
 		}
 		if err := t.drainReady(&counts); err != nil {
+			t.quarantine(err)
+			t.led.Close()
 			return err
 		}
 	}
