@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race alloc-gate chaos crash explain verify bench bench-all bench-fleet bench-cluster bench-serve profile deprecation-gate
+.PHONY: all build test vet race alloc-gate chaos crash explain verify bench bench-all bench-fleet bench-cluster bench-fabric bench-serve profile deprecation-gate
 
 all: verify
 
@@ -91,6 +91,14 @@ bench-fleet:
 bench-cluster:
 	BENCH_JSON=BENCH_cluster.json $(GO) test -run '^$$' \
 		-bench 'BenchmarkCluster1kTenants' -benchtime 1x -benchmem .
+
+# The packing-quality gate: on a 1000-tenant contended cluster the
+# placement optimizer must restore every predicted p95 to goal
+# (violations after rebalance = 0) and consolidate a spread fleet onto at
+# most 2x the capacity lower bound. Numbers land in BENCH_fabric.json.
+bench-fabric:
+	BENCH_JSON=BENCH_fabric.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkFabricPacking1kTenants' -benchtime 1x -benchmem .
 
 # The serving-daemon ingest gate: concurrent tenant streams over real
 # HTTP against the full pipeline (JSON decode, idempotency/reorder,

@@ -92,7 +92,7 @@ func writeBenchJSON(path string) error {
 		Note       string                        `json:"note"`
 		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 	}{
-		Note:       "headline benchmark numbers; regenerate with `make bench` (telemetry), `make bench-fleet` (fleet scale-out) or `make bench-cluster` (cluster hot path)",
+		Note:       "headline benchmark numbers; regenerate with `make bench` (telemetry), `make bench-fleet` (fleet scale-out), `make bench-cluster` (cluster hot path) or `make bench-fabric` (packing quality)",
 		Benchmarks: benchRecords,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -13,6 +13,8 @@
 //	          -actuation-throttle R -actuation-burst-start N
 //	          -actuation-burst-len N -actuation-deadline N -actuation-seed S]
 //	         [-csv POLICY -out FILE]
+//	         [-cluster N -cluster-servers M -cluster-goal-ms G
+//	          -contention -rebalance-every K -rebalance-pack]
 //
 // With -faults R > 0 every policy's telemetry channel runs in chaos mode: a
 // deterministic fault plan injects dropped, duplicated, reordered and
@@ -30,6 +32,17 @@
 // in-flight resize is superseded when the policy changes its mind. Like the
 // telemetry faults, actuation chaos is seed-deterministic and never touches
 // the offline Max run that derives the latency goal.
+//
+// With -cluster N > 0 the command switches to the paper's Figure 3
+// deployment instead: N auto-scaled tenants (a TPC-C/DS2/CPUIO mix over the
+// four standard traces) share -cluster-servers database servers through the
+// management fabric, and the per-tenant and per-node outcomes are printed.
+// -contention turns on the noisy-neighbor interference model (overcommitted
+// shared channels inflate co-residents' waits), -rebalance-every K runs the
+// goal-preserving placement optimizer every K intervals, and
+// -rebalance-pack additionally consolidates tenants onto fewer nodes when
+// no goal is violated. The -faults and -actuation-* flags apply to the
+// cluster run too.
 package main
 
 import (
@@ -43,6 +56,7 @@ import (
 	"daasscale/internal/actuate"
 	"daasscale/internal/budget"
 	"daasscale/internal/estimator"
+	"daasscale/internal/fabric"
 	"daasscale/internal/faults"
 	"daasscale/internal/fleet"
 	"daasscale/internal/report"
@@ -79,6 +93,12 @@ func main() {
 	explainRows := flag.Int("explain-rows", 40, "maximum audit lines -explain prints")
 	csvPolicy := flag.String("csv", "", "export this policy's per-interval series as CSV")
 	outPath := flag.String("out", "", "CSV output file (default stdout)")
+	clusterTenants := flag.Int("cluster", 0, "run a multi-tenant cluster with this many tenants instead of the policy comparison (0 = off)")
+	clusterServers := flag.Int("cluster-servers", 0, "cluster size in servers (0 = one largest container per two tenants)")
+	clusterGoalMs := flag.Float64("cluster-goal-ms", 100, "per-tenant p95 latency goal in the cluster run (ms)")
+	contention := flag.Bool("contention", false, "enable the noisy-neighbor interference model on the cluster fabric")
+	rebalanceEvery := flag.Int("rebalance-every", 0, "run the goal-preserving placement optimizer every N intervals (0 = never)")
+	rebalancePack := flag.Bool("rebalance-pack", false, "also consolidate tenants onto fewer nodes when no goal is violated")
 	flag.Parse()
 
 	w, err := workload.ByName(*workloadName)
@@ -101,20 +121,12 @@ func main() {
 		log.Fatalf("unknown sensitivity %q", *sensitivity)
 	}
 
-	cs := sim.ComparisonSpec{
-		Workload:    w,
-		Trace:       tr,
-		GoalFactor:  *goalFactor,
-		Seed:        *seed,
-		Sensitivity: sens,
-		Audit:       *explain,
-	}
+	var faultPlan faults.Plan
 	if *faultRate > 0 {
-		plan := faults.Uniform(*faultRate)
-		plan.Seed = *faultSeed
-		cs.Faults = plan
+		faultPlan = faults.Uniform(*faultRate)
+		faultPlan.Seed = *faultSeed
 	}
-	cs.Actuation = actuate.Config{
+	actCfg := actuate.Config{
 		Seed:              *actSeed,
 		LatencyIntervals:  *actLatency,
 		JitterIntervals:   *actJitter,
@@ -124,9 +136,41 @@ func main() {
 		BurstLen:          *actBurstLen,
 		DeadlineIntervals: *actDeadline,
 	}
-	if !cs.Actuation.Enabled() {
-		cs.Actuation = actuate.Config{}
+	if !actCfg.Enabled() {
+		actCfg = actuate.Config{}
 	}
+
+	if *clusterTenants > 0 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		runCluster(ctx, clusterConfig{
+			tenants:        *clusterTenants,
+			servers:        *clusterServers,
+			goalMs:         *clusterGoalMs,
+			seed:           *seed,
+			workers:        *workers,
+			contention:     *contention,
+			rebalanceEvery: *rebalanceEvery,
+			rebalancePack:  *rebalancePack,
+			faults:         faultPlan,
+			actuation:      actCfg,
+		})
+		return
+	}
+	if *contention || *rebalanceEvery > 0 || *rebalancePack {
+		log.Fatal("-contention and -rebalance-* need a cluster run: set -cluster N")
+	}
+
+	cs := sim.ComparisonSpec{
+		Workload:    w,
+		Trace:       tr,
+		GoalFactor:  *goalFactor,
+		Seed:        *seed,
+		Sensitivity: sens,
+		Audit:       *explain,
+	}
+	cs.Faults = faultPlan
+	cs.Actuation = actCfg
 	if *budgetTotal > 0 {
 		n := *budgetIntervals
 		if n == 0 {
@@ -205,4 +249,77 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// clusterConfig gathers the -cluster* knobs of a multi-tenant run.
+type clusterConfig struct {
+	tenants        int
+	servers        int
+	goalMs         float64
+	seed           int64
+	workers        int
+	contention     bool
+	rebalanceEvery int
+	rebalancePack  bool
+	faults         faults.Plan
+	actuation      actuate.Config
+}
+
+// runCluster executes the Figure 3 deployment: cfg.tenants auto-scaled
+// tenants (a workload/trace mix) sharing cfg.servers servers through the
+// management fabric, optionally under the noisy-neighbor interference model
+// and the goal-preserving placement optimizer.
+func runCluster(ctx context.Context, cfg clusterConfig) {
+	spec := sim.MultiTenantSpec{
+		Servers:        cfg.servers,
+		Seed:           cfg.seed,
+		Faults:         cfg.faults,
+		Actuation:      cfg.actuation,
+		RebalanceEvery: cfg.rebalanceEvery,
+		RebalancePack:  cfg.rebalancePack,
+	}
+	if cfg.contention {
+		spec.Contention = fabric.Contention{Enable: true}
+	}
+	mix := []*workload.Workload{workload.TPCC(), workload.DS2(), workload.CPUIO(workload.DefaultCPUIOConfig())}
+	traceNames := []string{"trace1", "trace2", "trace3", "trace4"}
+	for i := 0; i < cfg.tenants; i++ {
+		tr, err := trace.ByName(traceNames[i%len(traceNames)], cfg.seed+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Tenants = append(spec.Tenants, sim.TenantSpec{
+			ID:       fmt.Sprintf("t%02d", i),
+			Workload: mix[i%len(mix)],
+			Trace:    tr,
+			GoalMs:   cfg.goalMs,
+		})
+	}
+
+	res, err := sim.NewRunner(sim.WithParallelism(cfg.workers)).RunMultiTenant(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	title := fmt.Sprintf("%d tenants on %d server(s), goal p95 ≤ %.0f ms", cfg.tenants, len(res.Nodes), cfg.goalMs)
+	switch {
+	case cfg.contention && cfg.rebalanceEvery > 0:
+		title += fmt.Sprintf(", contention on, rebalance every %d", cfg.rebalanceEvery)
+	case cfg.contention:
+		title += ", contention on"
+	}
+	fmt.Printf("cluster: %s\n", title)
+	fmt.Printf("%-5s  %10s  %14s  %8s  %8s  %6s  %6s  %6s\n",
+		"id", "p95 (ms)", "cost/interval", "changes", "refused", "migr", "rebal", "meets")
+	for _, t := range res.Tenants {
+		meets := "yes"
+		if cfg.goalMs > 0 && t.P95Ms > cfg.goalMs {
+			meets = "NO"
+		}
+		fmt.Printf("%-5s  %10.1f  %14.2f  %8d  %8d  %6d  %6d  %6s\n",
+			t.ID, t.P95Ms, t.AvgCostPerInterval, t.Changes, t.RefusedResizes,
+			t.Migrations, t.RebalanceMigrations, meets)
+	}
+	fmt.Println()
+	report.NodeTable(os.Stdout, title, res)
 }

@@ -63,7 +63,17 @@ func (e *Engine) TickBatch(offered []float64) {
 	ioServiceMs := o.IOServiceMs
 	logSvcPerTxn := logPerTxn * o.LogServiceMsPerKB // Tick's `p.LogKB*o.LogServiceMsPerKB`
 	memStallMs := o.MemStallMs
-	basePlusCPU := o.BaseLatencyMs + cpuPerTxn // first two terms of perTxnLatency
+	// The contention multipliers are constant for the whole batch (a
+	// hosting runner installs them only between intervals), so every
+	// multiplied term below hoists or folds exactly as Tick associates it.
+	contCPU := e.contention.CPU
+	contMem := e.contention.Memory
+	contLog := e.contention.LogIO
+	// Tick's `o.BaseLatencyMs + p.CPUms*e.contention.CPU`, the first two
+	// terms of perTxnLatency.
+	basePlusCPU := o.BaseLatencyMs + cpuPerTxn*contCPU
+	// Tick's `p.LogKB*o.LogServiceMsPerKB*e.contention.LogIO` latency term.
+	logSvcLat := logSvcPerTxn * contLog
 	sigma := o.LatencySigma
 	noiseOn := o.NoiseProb > 0
 	noiseProb := o.NoiseProb
@@ -184,17 +194,17 @@ func (e *Engine) TickBatch(offered []float64) {
 		logDemand := off * logPerTxn
 		servedLog, dLog := drain(&bLog, logDemand, logCap, maxQLog, &shLog)
 
-		cpuCongest := cpuPerTxn * congest(cpuDemand, cpuCap)
+		cpuCongest := cpuPerTxn * congest(cpuDemand, cpuCap) * contCPU
 		ioCongest := perTxnPhysIO * ioServiceMs * congest(ioDemand, ioCap)
-		logCongest := logSvcPerTxn * congest(logDemand, logCap)
+		logCongest := logSvcPerTxn * congest(logDemand, logCap) * contLog
 
 		// --- Wait statistics ---------------------------------------------
-		wl[telemetry.WaitCPU] += waitMs(bCPU, cpuPerTxn)
+		wl[telemetry.WaitCPU] += waitMs(bCPU, cpuPerTxn) * contCPU
 		wl[telemetry.WaitDiskIO] += waitMs(bIO, perTxnPhysIO)
-		wl[telemetry.WaitLogIO] += waitMs(bLog, logPerTxn)
+		wl[telemetry.WaitLogIO] += waitMs(bLog, logPerTxn) * contLog
 
 		hotMissPerTxn := hs * (1 - hHot)
-		memStall := hotMissPerTxn * memStallMs
+		memStall := hotMissPerTxn * memStallMs * contMem
 		wl[telemetry.WaitMemory] += off * memStall
 
 		holders := off * lcp * lhm / 1000
@@ -215,7 +225,7 @@ func (e *Engine) TickBatch(offered []float64) {
 		if off > 0 {
 			perTxnLatency := basePlusCPU +
 				perTxnPhysIO*ioServiceMs +
-				logSvcPerTxn +
+				logSvcLat +
 				cpuCongest + ioCongest + logCongest +
 				dCPU + dIO + dLog +
 				memStall +

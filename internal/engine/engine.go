@@ -133,6 +133,46 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Contention carries the shared-channel wait-inflation multipliers a
+// hosting fabric imposes on the engine for the coming interval(s) — the
+// noisy-neighbor model's per-tenant output (fabric.ServerInflation mapped
+// onto the wait classes each channel stalls). Each multiplier inflates
+// one class of service/wait time: CPU the per-instruction service and CPU
+// queueing (cache interference), Memory the buffer-pool page-in stalls,
+// and LogIO the log-write service and waits. Multipliers are ≥ 1; the
+// identity multipliers reproduce the uncontended engine bit-for-bit
+// (multiplying by exactly 1.0 is an IEEE-754 identity), which is what
+// keeps zero-contention runs byte-identical to the historical outputs.
+//
+// The multipliers deliberately inflate only waits and latency, never the
+// demand/served/billing series: interference steals time, not accounted
+// capacity. That keeps utilization telemetry truthful and makes the
+// placement optimizer's baseline-division p95 prediction exact to first
+// order.
+type Contention struct {
+	CPU    float64
+	Memory float64
+	LogIO  float64
+}
+
+// NoContention is the identity multiplier set.
+func NoContention() Contention { return Contention{CPU: 1, Memory: 1, LogIO: 1} }
+
+// normalized lifts unset or sub-identity multipliers to 1 (a fabric never
+// speeds a tenant up; the zero value must mean "uncontended").
+func (c Contention) normalized() Contention {
+	if !(c.CPU > 1) {
+		c.CPU = 1
+	}
+	if !(c.Memory > 1) {
+		c.Memory = 1
+	}
+	if !(c.LogIO > 1) {
+		c.LogIO = 1
+	}
+	return c
+}
+
 // Engine simulates one tenant database inside a resource container.
 type Engine struct {
 	w    *workload.Workload
@@ -140,6 +180,10 @@ type Engine struct {
 	opts Options
 	cont resource.Container
 	rng  *rand.Rand
+
+	// contention is the external wait-inflation multiplier set, installed
+	// between intervals by a hosting cluster runner (identity otherwise).
+	contention Contention
 
 	// Buffer-pool state.
 	usedMB      float64
@@ -222,11 +266,12 @@ func New(w *workload.Workload, cont resource.Container, seed int64, opts Options
 	}
 	o := opts.withDefaults()
 	e := &Engine{
-		w:    w,
-		prof: w.MixProfile(),
-		opts: o,
-		cont: cont,
-		rng:  rand.New(rand.NewSource(seed)),
+		w:          w,
+		prof:       w.MixProfile(),
+		opts:       o,
+		cont:       cont,
+		rng:        rand.New(rand.NewSource(seed)),
+		contention: NoContention(),
 	}
 	start := o.ColdCacheMB
 	if o.WarmStart && w.WorkingSetMB > start {
@@ -249,6 +294,25 @@ func (e *Engine) SetContainer(c resource.Container) {
 	e.cont = c
 	if e.usedMB > c.Alloc[resource.Memory] {
 		e.usedMB = c.Alloc[resource.Memory]
+	}
+}
+
+// SetContention installs the shared-channel wait-inflation multipliers
+// for subsequent ticks. Cluster runners call it between intervals, from
+// the serial apply phase, with the hosting node's inflation; multipliers
+// below 1 (including the zero value) are lifted to the identity.
+func (e *Engine) SetContention(c Contention) { e.contention = c.normalized() }
+
+// ContentionMultipliers returns the active multiplier set.
+func (e *Engine) ContentionMultipliers() Contention { return e.contention }
+
+// MigrateRestart models the buffer-pool consequence of migrating the
+// tenant to another node: the cache restarts cold and must re-warm
+// through physical reads — the latency charge every optimizer-planned
+// migration pays, on top of riding the failable actuation channel.
+func (e *Engine) MigrateRestart() {
+	if e.usedMB > e.opts.ColdCacheMB {
+		e.usedMB = e.opts.ColdCacheMB
 	}
 }
 
@@ -393,9 +457,13 @@ func (e *Engine) Tick(offered float64) {
 		}
 		return f
 	}
-	cpuCongest := p.CPUms * congest(cpuDemand, cpuCap)
+	// Shared-channel contention (noisy neighbors on the hosting node)
+	// multiplies the affected service and wait terms. The multipliers are
+	// exactly 1 outside cluster runs, and x*1.0 is an IEEE-754 identity,
+	// so the uncontended arithmetic is bit-for-bit the historical one.
+	cpuCongest := p.CPUms * congest(cpuDemand, cpuCap) * e.contention.CPU
 	ioCongest := perTxnPhysIO * o.IOServiceMs * congest(ioDemand, ioCap)
-	logCongest := p.LogKB * o.LogServiceMsPerKB * congest(logDemand, logCap)
+	logCongest := p.LogKB * o.LogServiceMsPerKB * congest(logDemand, logCap) * e.contention.LogIO
 
 	// --- Wait statistics -------------------------------------------------
 	// Requests whose work is still queued wait the whole tick; the number
@@ -408,13 +476,14 @@ func (e *Engine) Tick(offered float64) {
 		return backlog / per * 1000
 	}
 	a := &e.acc
-	a.waitMs[telemetry.WaitCPU] += waitMs(e.backlogCPUms, p.CPUms)
+	a.waitMs[telemetry.WaitCPU] += waitMs(e.backlogCPUms, p.CPUms) * e.contention.CPU
 	a.waitMs[telemetry.WaitDiskIO] += waitMs(e.backlogIOOps, perTxnPhysIO)
-	a.waitMs[telemetry.WaitLogIO] += waitMs(e.backlogLogKB, p.LogKB)
+	a.waitMs[telemetry.WaitLogIO] += waitMs(e.backlogLogKB, p.LogKB) * e.contention.LogIO
 
-	// Hot-set buffer misses stall requests on page-ins.
+	// Hot-set buffer misses stall requests on page-ins; buffer-pool
+	// contention inflates each stall.
 	hotMissPerTxn := e.w.HotspotFraction * (1 - hHot)
-	memStall := hotMissPerTxn * o.MemStallMs
+	memStall := hotMissPerTxn * o.MemStallMs * e.contention.Memory
 	a.waitMs[telemetry.WaitMemory] += offered * memStall
 
 	// Application locks: waiters queue behind concurrent holders. Queue
@@ -440,9 +509,9 @@ func (e *Engine) Tick(offered float64) {
 	// --- Latency ---------------------------------------------------------
 	if offered > 0 {
 		perTxnLatency := o.BaseLatencyMs +
-			p.CPUms +
+			p.CPUms*e.contention.CPU +
 			perTxnPhysIO*o.IOServiceMs +
-			p.LogKB*o.LogServiceMsPerKB +
+			p.LogKB*o.LogServiceMsPerKB*e.contention.LogIO +
 			cpuCongest + ioCongest + logCongest +
 			dCPU + dIO + dLog +
 			memStall +

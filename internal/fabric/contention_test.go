@@ -1,0 +1,232 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"daasscale/internal/resource"
+)
+
+// flatCap is a convenient test capacity: 100 units in every dimension, so
+// allocation fractions read directly as percentages.
+var flatCap = resource.Vector{100, 100, 100, 100}
+
+// box builds a container with the given allocation in every dimension.
+func box(name string, units float64) resource.Container {
+	return resource.Container{
+		Name:  name,
+		Alloc: resource.Vector{units, units, units, units},
+		Cost:  1,
+	}
+}
+
+func TestPressureChannelNames(t *testing.T) {
+	cases := map[PressureChannel]struct {
+		name    string
+		backing resource.Kind
+	}{
+		ChannelBufferPool: {"buffer-pool", resource.Memory},
+		ChannelLogDevice:  {"log-device", resource.LogIO},
+		ChannelCPUCache:   {"cpu-cache", resource.CPU},
+	}
+	for ch, want := range cases {
+		if ch.String() != want.name {
+			t.Errorf("%d.String() = %q, want %q", ch, ch.String(), want.name)
+		}
+		if ch.Backing() != want.backing {
+			t.Errorf("%s.Backing() = %v, want %v", ch, ch.Backing(), want.backing)
+		}
+	}
+	if got := PressureChannel(7).String(); got != "pressurechannel(7)" {
+		t.Errorf("unknown channel name = %q", got)
+	}
+}
+
+func TestContentionValidate(t *testing.T) {
+	bad := []Contention{
+		{ShareFrac: [NumPressureChannels]float64{-0.1, 0, 0}},
+		{ShareFrac: [NumPressureChannels]float64{0, 1.5, 0}},
+		{ShareFrac: [NumPressureChannels]float64{0, 0, math.NaN()}},
+		{Slope: -1},
+		{Slope: math.NaN()},
+		{MaxInflation: 0.5},
+		{MaxInflation: math.NaN()},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, c)
+		}
+	}
+	good := []Contention{
+		{},
+		{Enable: true},
+		{Enable: true, ShareFrac: [NumPressureChannels]float64{0.5, 0.5, 0.5}, Slope: 2, MaxInflation: 3},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+	f := mustFabric(t, 1, FirstFit)
+	if err := f.SetContention(Contention{Slope: -1}); err == nil {
+		t.Error("SetContention accepted an invalid model")
+	}
+}
+
+func TestContentionDefaults(t *testing.T) {
+	c := Contention{Enable: true}.withDefaults()
+	if c.ShareFrac[ChannelBufferPool] != 0.70 || c.ShareFrac[ChannelLogDevice] != 0.60 || c.ShareFrac[ChannelCPUCache] != 0.80 {
+		t.Errorf("default share fractions = %v", c.ShareFrac)
+	}
+	if c.Slope != 1.5 || c.MaxInflation != 4 {
+		t.Errorf("default slope/cap = %v/%v", c.Slope, c.MaxInflation)
+	}
+}
+
+// TestInflationMath pins the interference function itself: pressure is
+// allocation over the effective shared capacity, inflation grows linearly
+// in overcommit and saturates at the cap.
+func TestInflationMath(t *testing.T) {
+	f, err := New(1, flatCap, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetContention(Contention{
+		Enable:       true,
+		ShareFrac:    [NumPressureChannels]float64{0.5, 0.5, 0.5},
+		Slope:        2,
+		MaxInflation: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty node: zero pressure, identity inflation.
+	if p := f.ServerPressure(0); p != (Pressure{}) {
+		t.Errorf("empty node pressure = %v", p)
+	}
+	if inf := f.ServerInflation(0); inf != NoInflation() {
+		t.Errorf("empty node inflation = %v", inf)
+	}
+	// 40 of 100 units: pressure 40/(0.5×100) = 0.8 on every channel —
+	// below saturation, still identity.
+	if err := f.Place("a", box("b40", 40)); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range PressureChannels {
+		if got := f.ServerPressure(0)[ch]; got != 0.8 {
+			t.Errorf("%s pressure = %v, want 0.8", ch, got)
+		}
+	}
+	if inf := f.ServerInflation(0); inf != NoInflation() {
+		t.Errorf("undercommitted node inflation = %v", inf)
+	}
+	// 75 total: pressure 1.5, overcommit 0.5 → inflation 1 + 2×0.5 = 2.
+	if err := f.Place("b", box("b35", 35)); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range PressureChannels {
+		if got := f.ServerInflation(0)[ch]; got != 2 {
+			t.Errorf("%s inflation = %v, want 2", ch, got)
+		}
+	}
+	// 100 total: pressure 2.0, linear value 3 would equal the cap; push to
+	// it and verify saturation.
+	if err := f.Place("c", box("b25", 25)); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range PressureChannels {
+		if got := f.ServerInflation(0)[ch]; got != 3 {
+			t.Errorf("%s inflation = %v, want cap 3", ch, got)
+		}
+	}
+}
+
+// TestInflationDisabledIsIdentity: with the model off, inflation is the
+// identity no matter how packed the node is, while pressure stays
+// reportable under the default share fractions.
+func TestInflationDisabledIsIdentity(t *testing.T) {
+	f, err := New(1, flatCap, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Place("a", box("full", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if inf := f.ServerInflation(0); inf != NoInflation() {
+		t.Errorf("disabled model inflated: %v", inf)
+	}
+	if p := f.ServerPressure(0)[ChannelBufferPool]; p != 100/(0.70*100) {
+		t.Errorf("disabled model pressure = %v, want the default-share view", p)
+	}
+	inf, node, ok := f.TenantInflation("a")
+	if !ok || node != 0 || inf != NoInflation() {
+		t.Errorf("TenantInflation = %v node %d ok %v", inf, node, ok)
+	}
+}
+
+// TestTenantInflationExcludesSelf is the noisy-*neighbor* property: a
+// tenant is inflated by its neighbors' allocation only, so a tenant alone
+// on an overcommitted node suffers nothing while the node-level view still
+// reports the full-sum pressure.
+func TestTenantInflationExcludesSelf(t *testing.T) {
+	f, err := New(1, flatCap, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetContention(Contention{
+		Enable:       true,
+		ShareFrac:    [NumPressureChannels]float64{0.5, 0.5, 0.5},
+		Slope:        2,
+		MaxInflation: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Place("big", box("b80", 80)); err != nil {
+		t.Fatal(err)
+	}
+	// Node-level: pressure 1.6, inflation 2.2. Tenant-level: no neighbors,
+	// identity.
+	if got := f.ServerInflation(0)[ChannelBufferPool]; got != 2.2 {
+		t.Errorf("node inflation = %v, want 2.2", got)
+	}
+	if inf, _, _ := f.TenantInflation("big"); inf != NoInflation() {
+		t.Errorf("lone tenant inflated by itself: %v", inf)
+	}
+	// Add a small neighbor: big sees only the 10 units (pressure 0.2 →
+	// identity); small sees big's 80 units (pressure 1.6 → inflation 2.2).
+	if err := f.Place("small", box("b10", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if inf, _, _ := f.TenantInflation("big"); inf != NoInflation() {
+		t.Errorf("big inflated by a tiny neighbor: %v", inf)
+	}
+	inf, node, ok := f.TenantInflation("small")
+	if !ok || node != 0 {
+		t.Fatalf("small not resolved: node %d ok %v", node, ok)
+	}
+	for _, ch := range PressureChannels {
+		if inf[ch] != 2.2 {
+			t.Errorf("small %s inflation = %v, want 2.2", ch, inf[ch])
+		}
+	}
+	p, _, _ := f.TenantPressure("small")
+	if p[ChannelCPUCache] != 1.6 {
+		t.Errorf("small neighbor pressure = %v, want 1.6", p[ChannelCPUCache])
+	}
+	// Unknown tenant.
+	if _, node, ok := f.TenantInflation("ghost"); ok || node != -1 {
+		t.Errorf("ghost resolved to node %d ok %v", node, ok)
+	}
+}
+
+func TestInflationMaxAndChannels(t *testing.T) {
+	inf := Inflation{1.25, 3, 1}
+	if inf.Max() != 3 {
+		t.Errorf("Max = %v", inf.Max())
+	}
+	if NoInflation().Max() != 1 {
+		t.Errorf("identity Max = %v", NoInflation().Max())
+	}
+	if len(PressureChannels) != NumPressureChannels {
+		t.Error("channel list out of sync")
+	}
+}

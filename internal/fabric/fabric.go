@@ -16,6 +16,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"daasscale/internal/resource"
@@ -36,12 +37,21 @@ type PlacementPolicy int
 const (
 	// FirstFit picks the lowest-numbered server with room.
 	FirstFit PlacementPolicy = iota
-	// BestFit picks the server whose remaining headroom after placement is
-	// smallest (dense packing, fewest servers touched).
+	// BestFit picks the server whose normalized dominant-resource headroom
+	// after placement is smallest (dense packing across every dimension,
+	// fewest servers touched).
 	BestFit
-	// WorstFit picks the server with the most headroom (load balancing,
-	// most room for future growth in place).
+	// WorstFit picks the server whose normalized dominant-resource
+	// headroom after placement is largest (load balancing, most room for
+	// future growth in place).
 	WorstFit
+	// BestFitCPU and WorstFitCPU are the historical scorers: they rank by
+	// raw CPU headroom only, ignoring the other dimensions, so memory- or
+	// IO-heavy containers pack badly. Retained so the golden and
+	// zero-contention equivalence runs can reproduce the old packing
+	// decisions exactly.
+	BestFitCPU
+	WorstFitCPU
 )
 
 // String names the policy.
@@ -53,6 +63,10 @@ func (p PlacementPolicy) String() string {
 		return "best-fit"
 	case WorstFit:
 		return "worst-fit"
+	case BestFitCPU:
+		return "best-fit-cpu"
+	case WorstFitCPU:
+		return "worst-fit-cpu"
 	default:
 		return fmt.Sprintf("placementpolicy(%d)", int(p))
 	}
@@ -127,6 +141,11 @@ type Fabric struct {
 	placement map[string]int
 	policy    PlacementPolicy
 
+	// cont is the installed interference model (zero = disabled);
+	// contResolved is the same model with defaults filled in.
+	cont         Contention
+	contResolved Contention
+
 	migrations int
 	refusals   int
 }
@@ -166,9 +185,34 @@ func (f *Fabric) ServerOf(tenantID string) (*Server, bool) {
 	return f.servers[idx], true
 }
 
+// dominantHeadroomAfter scores a candidate server for an allocation: the
+// smallest normalized remaining headroom across all resource dimensions
+// after placement — the dominant (tightest) resource's free fraction. A
+// low score means the server would be densely used in at least one
+// dimension; a high score means room everywhere.
+func dominantHeadroomAfter(s *Server, alloc resource.Vector) float64 {
+	score := math.Inf(1)
+	head := s.Headroom()
+	for _, k := range resource.Kinds {
+		if s.Capacity[k] <= 0 {
+			continue
+		}
+		if frac := (head[k] - alloc[k]) / s.Capacity[k]; frac < score {
+			score = frac
+		}
+	}
+	return score
+}
+
 // pick chooses a server with room for alloc according to the placement
 // policy; exclude (≥0) skips one server (the tenant's current host during a
 // migration search). Returns -1 when no server fits.
+//
+// BestFit/WorstFit rank by normalized dominant-resource headroom after
+// placement, so a memory- or log-heavy container packs against the
+// dimension it actually exhausts; BestFitCPU/WorstFitCPU retain the
+// historical raw-CPU-headroom scorer. All ties break to the lower server
+// ID through strict inequality on an in-order scan.
 func (f *Fabric) pick(alloc resource.Vector, exclude int) int {
 	best := -1
 	var bestScore float64
@@ -176,18 +220,20 @@ func (f *Fabric) pick(alloc resource.Vector, exclude int) int {
 		if i == exclude || !s.Fits(alloc) {
 			continue
 		}
+		var score float64
 		switch f.policy {
 		case FirstFit:
 			return i
 		case BestFit, WorstFit:
-			// Score by CPU headroom after placement (the paper's dominant
-			// dimension); ties broken by lower ID through strict inequality.
-			score := s.Headroom()[resource.CPU] - alloc[resource.CPU]
-			if best < 0 ||
-				(f.policy == BestFit && score < bestScore) ||
-				(f.policy == WorstFit && score > bestScore) {
-				best, bestScore = i, score
-			}
+			score = dominantHeadroomAfter(s, alloc)
+		case BestFitCPU, WorstFitCPU:
+			score = s.Headroom()[resource.CPU] - alloc[resource.CPU]
+		default:
+			return i
+		}
+		lower := f.policy == BestFit || f.policy == BestFitCPU
+		if best < 0 || (lower && score < bestScore) || (!lower && score > bestScore) {
+			best, bestScore = i, score
 		}
 	}
 	return best
@@ -269,6 +315,38 @@ func (f *Fabric) Resize(tenantID string, to resource.Container) (migrated bool, 
 	return true, nil
 }
 
+// Migrate moves a tenant to a specific server — the primitive the
+// placement optimizer's plans execute through (each move routed through
+// the actuation channel by the cluster runner, so it is failable and
+// charged). Moving a tenant to its current server is a no-op. When the
+// destination cannot fit the tenant's container — cluster state may have
+// changed since the plan was computed — the move is refused with an
+// ErrRefused-wrapping error and the placement is untouched.
+func (f *Fabric) Migrate(tenantID string, dst int) error {
+	idx, ok := f.placement[tenantID]
+	if !ok {
+		return fmt.Errorf("fabric: tenant %q not placed", tenantID)
+	}
+	if dst < 0 || dst >= len(f.servers) {
+		return fmt.Errorf("fabric: no server %d", dst)
+	}
+	if dst == idx {
+		return nil
+	}
+	host := f.servers[idx]
+	c := host.tenants[tenantID]
+	if !f.servers[dst].Fits(c.Alloc) {
+		return fmt.Errorf("%w: server %d cannot host tenant %q at %s", ErrRefused, dst, tenantID, c.Name)
+	}
+	delete(host.tenants, tenantID)
+	host.alloc = host.alloc.Sub(c.Alloc)
+	f.servers[dst].tenants[tenantID] = c
+	f.servers[dst].alloc = f.servers[dst].alloc.Add(c.Alloc)
+	f.placement[tenantID] = dst
+	f.migrations++
+	return nil
+}
+
 // Validate checks the cluster invariant: no server is overcommitted and the
 // placement index matches the servers' tenant maps.
 func (f *Fabric) Validate() error {
@@ -295,14 +373,29 @@ func (f *Fabric) Validate() error {
 	return nil
 }
 
-// Utilization returns, per server, the allocated fraction of CPU — the
-// fabric-level view a service operator watches.
-func (f *Fabric) Utilization() []float64 {
-	out := make([]float64, len(f.servers))
+// UtilizationByResource returns, per server, the allocated fraction of
+// every resource dimension — the fabric-level view a service operator
+// watches, and the node report table's backing data.
+func (f *Fabric) UtilizationByResource() []resource.Vector {
+	out := make([]resource.Vector, len(f.servers))
 	for i, s := range f.servers {
-		if s.Capacity[resource.CPU] > 0 {
-			out[i] = s.Allocated()[resource.CPU] / s.Capacity[resource.CPU]
+		alloc := s.Allocated()
+		for _, k := range resource.Kinds {
+			if s.Capacity[k] > 0 {
+				out[i][k] = alloc[k] / s.Capacity[k]
+			}
 		}
+	}
+	return out
+}
+
+// Utilization returns, per server, the allocated fraction of CPU — a thin
+// wrapper over UtilizationByResource retained for the historical callers.
+func (f *Fabric) Utilization() []float64 {
+	byRes := f.UtilizationByResource()
+	out := make([]float64, len(byRes))
+	for i, u := range byRes {
+		out[i] = u[resource.CPU]
 	}
 	return out
 }

@@ -260,3 +260,143 @@ func TestFabricInvariantUnderRandomChurn(t *testing.T) {
 		}
 	}
 }
+
+// TestResizeMixedDeltaInPlace is the regression test for the in-place
+// fitness check under per-dimension variants: a resize that grows one
+// dimension while shrinking another must only need headroom for the
+// *positive* components of the delta. Checking the whole new allocation —
+// or the raw delta with its negative components — refuses or miscounts
+// legal in-place resizes.
+func TestResizeMixedDeltaInPlace(t *testing.T) {
+	f, err := New(1, flatCap, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// filler pins the node at 40 units everywhere; t starts CPU-heavy.
+	filler := resource.Container{Name: "filler", Alloc: resource.Vector{40, 40, 40, 40}, Cost: 1}
+	cur := resource.Container{Name: "cpuheavy", Alloc: resource.Vector{55, 10, 10, 10}, Cost: 1}
+	if err := f.Place("filler", filler); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Place("t", cur); err != nil {
+		t.Fatal(err)
+	}
+	// Pivot to memory-heavy: CPU shrinks 55→10, memory grows 10→55. The
+	// full new allocation does NOT fit alongside the current one
+	// (memory 40+10+55 > 100), but the positive delta (+45 memory) fits
+	// once the CPU shrink is netted out — this must stay in place.
+	next := resource.Container{Name: "memheavy", Alloc: resource.Vector{10, 55, 10, 10}, Cost: 1}
+	migrated, err := f.Resize("t", next)
+	if err != nil || migrated {
+		t.Fatalf("mixed-delta resize: migrated=%v err=%v", migrated, err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Servers()[0].Allocated(); got != (resource.Vector{50, 95, 50, 50}) {
+		t.Errorf("allocation after pivot = %v", got)
+	}
+	// The reverse pivot past the remaining headroom: growing CPU by 60
+	// against 50 free cannot stay in place, and with one server it must be
+	// refused — even though the memory shrink alone would fit.
+	big := resource.Container{Name: "cpubig", Alloc: resource.Vector{70, 10, 10, 10}, Cost: 1}
+	if _, err := f.Resize("t", big); !errors.Is(err, ErrRefused) {
+		t.Errorf("over-headroom pivot error = %v, want ErrRefused", err)
+	}
+	if c, _ := f.Container("t"); c.Name != "memheavy" {
+		t.Errorf("refused pivot changed the container to %s", c.Name)
+	}
+}
+
+// TestBestFitRanksByDominantDimension: the rewritten scorer packs against
+// the dimension a container actually exhausts, where the legacy CPU-only
+// scorer picks the wrong server for a memory-heavy container.
+func TestBestFitRanksByDominantDimension(t *testing.T) {
+	seed := func(policy PlacementPolicy) *Fabric {
+		f, err := New(2, flatCap, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Server 0: memory-tight (80 memory, little CPU).
+		// Server 1: CPU-loaded (40 CPU, little memory).
+		// Migrate pins the fixture regardless of the policy under test.
+		f.Place("m", resource.Container{Name: "m", Alloc: resource.Vector{10, 80, 0, 0}, Cost: 1})
+		f.Place("c", resource.Container{Name: "c", Alloc: resource.Vector{40, 10, 0, 0}, Cost: 1})
+		if err := f.Migrate("m", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Migrate("c", 1); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	probe := resource.Container{Name: "p", Alloc: resource.Vector{10, 10, 0, 0}, Cost: 1}
+
+	// Dominant-dimension best fit: server 0's memory headroom after
+	// placement (10%) is the tightest fraction anywhere → densest pack.
+	f := seed(BestFit)
+	f.Place("p", probe)
+	if s, _ := f.ServerOf("p"); s.ID != 0 {
+		t.Errorf("BestFit placed on server %d, want the memory-tight 0", s.ID)
+	}
+	// Legacy CPU-only best fit ignores memory and packs onto the
+	// CPU-loaded server 1 (50 CPU headroom beats 80).
+	f = seed(BestFitCPU)
+	f.Place("p", probe)
+	if s, _ := f.ServerOf("p"); s.ID != 1 {
+		t.Errorf("BestFitCPU placed on server %d, want the CPU-loaded 1", s.ID)
+	}
+	// The worst-fit duals spread instead: dominant-dimension worst fit
+	// avoids the memory-tight server...
+	f = seed(WorstFit)
+	f.Place("p", probe)
+	if s, _ := f.ServerOf("p"); s.ID != 1 {
+		t.Errorf("WorstFit placed on server %d, want 1", s.ID)
+	}
+	// ...while the legacy CPU scorer calls server 0 the roomiest.
+	f = seed(WorstFitCPU)
+	f.Place("p", probe)
+	if s, _ := f.ServerOf("p"); s.ID != 0 {
+		t.Errorf("WorstFitCPU placed on server %d, want 0", s.ID)
+	}
+	if BestFitCPU.String() != "best-fit-cpu" || WorstFitCPU.String() != "worst-fit-cpu" {
+		t.Error("legacy policy names wrong")
+	}
+}
+
+// TestPickTieBreaksLowerID: equal scores resolve to the lower server index
+// under every ranking policy.
+func TestPickTieBreaksLowerID(t *testing.T) {
+	for _, policy := range []PlacementPolicy{FirstFit, BestFit, WorstFit, BestFitCPU, WorstFitCPU} {
+		f := mustFabric(t, 3, policy)
+		f.Place("t", cat.AtStep(3))
+		if s, _ := f.ServerOf("t"); s.ID != 0 {
+			t.Errorf("%v: empty-cluster placement on server %d, want 0", policy, s.ID)
+		}
+	}
+}
+
+// TestUtilizationByResource: the per-dimension view reports every
+// dimension's allocated fraction, and the historical Utilization() is its
+// CPU column.
+func TestUtilizationByResource(t *testing.T) {
+	f, err := New(2, flatCap, FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Place("t", resource.Container{Name: "t", Alloc: resource.Vector{25, 50, 10, 75}, Cost: 1})
+	u := f.UtilizationByResource()
+	if len(u) != 2 {
+		t.Fatalf("%d servers reported", len(u))
+	}
+	if u[0] != (resource.Vector{0.25, 0.5, 0.1, 0.75}) {
+		t.Errorf("server 0 utilization = %v", u[0])
+	}
+	if u[1] != (resource.Vector{}) {
+		t.Errorf("server 1 utilization = %v", u[1])
+	}
+	cpu := f.Utilization()
+	if cpu[0] != 0.25 || cpu[1] != 0 {
+		t.Errorf("CPU column = %v", cpu)
+	}
+}

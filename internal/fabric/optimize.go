@@ -1,0 +1,375 @@
+package fabric
+
+import (
+	"sort"
+
+	"daasscale/internal/resource"
+)
+
+// The goal-preserving placement optimizer. Two entry points, both pure
+// planners over the fabric's current placement (no mutation — plans
+// execute through Migrate, routed through the actuation channel by the
+// cluster runner so every move is failable and charged):
+//
+//   - Rebalance moves tenants off over-pressured nodes until every
+//     tenant's *predicted* p95 is back within its goal (or no move can
+//     improve things), spreading onto the least-loaded nodes first.
+//   - Optimize packs tenants onto the fewest nodes subject to the same
+//     goal constraint: a node is drained only if every resident can be
+//     relocated without pushing any tenant — mover or receiver-side
+//     resident — past its goal.
+//
+// Predicted p95 under a hypothetical placement is the tenant's
+// contention-free baseline times the dominant channel inflation its
+// *neighbors* on the destination would impose (the node sum minus the
+// tenant's own container, matching TenantInflation): the engine inflates
+// wait classes multiplicatively, so baseline × inflation is the
+// model-consistent first-order prediction. Tenants without a goal
+// (GoalMs 0) or without an observed baseline never constrain a move;
+// capacity always does.
+//
+// Both planners are deterministic: servers are scanned by index, tenants
+// in sorted order, and every ranking breaks ties toward the lower ID.
+
+// TenantGoal feeds the optimizer one tenant's latency contract and its
+// observed contention-free p95 baseline (the last measured p95 with the
+// inflation active at measurement time divided out).
+type TenantGoal struct {
+	// ID names the tenant; it must be placed on the fabric.
+	ID string
+	// GoalMs is the tenant's p95 goal (0 = no goal; never constrains).
+	GoalMs float64
+	// BaselineP95Ms is the tenant's contention-free p95 estimate (0 = no
+	// observation yet; never constrains).
+	BaselineP95Ms float64
+}
+
+// Move is one planned migration.
+type Move struct {
+	Tenant string
+	From   int
+	To     int
+}
+
+// Plan is an optimizer result: the moves, in execution order, and the
+// node-count effect the planner predicts.
+type Plan struct {
+	Moves       []Move
+	NodesBefore int
+	NodesAfter  int
+}
+
+// planState is the optimizer's scratch model of the cluster: allocation
+// sums and resident sets per server, mutable without touching the fabric.
+type planState struct {
+	f       *Fabric
+	alloc   []resource.Vector
+	tenants [][]string     // per server, sorted tenant IDs
+	where   map[string]int // tenant → server index
+	size    map[string]resource.Vector
+	goals   map[string]TenantGoal
+}
+
+func (f *Fabric) newPlanState(goals []TenantGoal) *planState {
+	st := &planState{
+		f:       f,
+		alloc:   make([]resource.Vector, len(f.servers)),
+		tenants: make([][]string, len(f.servers)),
+		where:   make(map[string]int, len(f.placement)),
+		size:    make(map[string]resource.Vector, len(f.placement)),
+		goals:   make(map[string]TenantGoal, len(goals)),
+	}
+	for i, s := range f.servers {
+		st.alloc[i] = s.Allocated()
+		st.tenants[i] = s.Tenants() // sorted
+		for id, c := range s.tenants {
+			st.where[id] = i
+			st.size[id] = c.Alloc
+		}
+	}
+	for _, g := range goals {
+		st.goals[g.ID] = g
+	}
+	return st
+}
+
+// inflation returns the hypothetical node-level inflation of server i
+// under the scratch allocation (full sum; used only to rank violated
+// nodes, not to judge individual tenants).
+func (st *planState) inflation(i int) Inflation {
+	return st.f.inflationOf(st.f.pressureOf(st.alloc[i], st.f.servers[i].Capacity))
+}
+
+// multFor is the dominant inflation multiplier a tenant would suffer on
+// server i with neighbor allocation neigh.
+func (st *planState) multFor(neigh resource.Vector, i int) float64 {
+	return st.f.inflationOf(st.f.pressureOf(neigh, st.f.servers[i].Capacity)).Max()
+}
+
+// tenantMult is the dominant multiplier tenant id suffers as a resident of
+// server i under the scratch allocation: its neighbors' sum, own container
+// excluded.
+func (st *planState) tenantMult(id string, i int) float64 {
+	return st.multFor(st.alloc[i].Sub(st.size[id]), i)
+}
+
+// fits reports whether server i can take an extra allocation.
+func (st *planState) fits(i int, alloc resource.Vector) bool {
+	return st.f.servers[i].Capacity.Dominates(st.alloc[i].Add(alloc))
+}
+
+// withinGoal reports whether the tenant's predicted p95 under inflation
+// mult stays within its goal. Tenants without goal or baseline are never
+// constrained.
+func (st *planState) withinGoal(id string, mult float64) bool {
+	g, ok := st.goals[id]
+	if !ok || g.GoalMs <= 0 || g.BaselineP95Ms <= 0 {
+		return true
+	}
+	return g.BaselineP95Ms*mult <= g.GoalMs
+}
+
+// goalViolated reports whether any resident of server i would exceed its
+// goal under the scratch state.
+func (st *planState) goalViolated(i int) bool {
+	for _, id := range st.tenants[i] {
+		if !st.withinGoal(id, st.tenantMult(id, i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverOK reports whether placing the tenant on server dst keeps every
+// resident of dst — the mover included — within goal. The mover's
+// neighbors after the move are exactly dst's current residents; each
+// current resident gains the mover as a neighbor.
+func (st *planState) receiverOK(id string, dst int) bool {
+	if !st.withinGoal(id, st.multFor(st.alloc[dst], dst)) {
+		return false
+	}
+	next := st.alloc[dst].Add(st.size[id])
+	for _, other := range st.tenants[dst] {
+		if !st.withinGoal(other, st.multFor(next.Sub(st.size[other]), dst)) {
+			return false
+		}
+	}
+	return true
+}
+
+// move applies one move to the scratch state.
+func (st *planState) move(id string, dst int) Move {
+	src := st.where[id]
+	st.alloc[src] = st.alloc[src].Sub(st.size[id])
+	st.alloc[dst] = st.alloc[dst].Add(st.size[id])
+	st.tenants[src] = removeSorted(st.tenants[src], id)
+	st.tenants[dst] = insertSorted(st.tenants[dst], id)
+	st.where[id] = dst
+	return Move{Tenant: id, From: src, To: dst}
+}
+
+// nodesUsed counts servers hosting at least one tenant.
+func (st *planState) nodesUsed() int {
+	n := 0
+	for _, ts := range st.tenants {
+		if len(ts) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func removeSorted(ss []string, id string) []string {
+	i := sort.SearchStrings(ss, id)
+	if i < len(ss) && ss[i] == id {
+		return append(ss[:i], ss[i+1:]...)
+	}
+	return ss
+}
+
+func insertSorted(ss []string, id string) []string {
+	i := sort.SearchStrings(ss, id)
+	ss = append(ss, "")
+	copy(ss[i+1:], ss[i:])
+	ss[i] = id
+	return ss
+}
+
+// dominantShare is the tenant's largest normalized demand on any channel
+// of server i — the ranking used to move the heaviest contributor first.
+func (st *planState) dominantShare(id string, i int) float64 {
+	capa := st.f.servers[i].Capacity
+	best := 0.0
+	for _, ch := range PressureChannels {
+		k := ch.Backing()
+		if capa[k] > 0 {
+			if frac := st.size[id][k] / capa[k]; frac > best {
+				best = frac
+			}
+		}
+	}
+	return best
+}
+
+// Rebalance plans migrations that restore every resident tenant's
+// predicted p95 to within its goal. It scans the most-pressured violated
+// node, moves its heaviest channel contributor to the least-loaded node
+// that can take it goal-preservingly, and repeats until no violation
+// remains or no move improves one. The fabric is not mutated.
+func (f *Fabric) Rebalance(goals []TenantGoal) Plan {
+	st := f.newPlanState(goals)
+	plan := Plan{NodesBefore: st.nodesUsed()}
+	// Each iteration either fixes or gives up on one violated node; bound
+	// the walk generously so a pathological model cannot loop.
+	maxMoves := 4 * len(st.where)
+	stuck := make(map[string]bool)
+	for len(plan.Moves) <= maxMoves {
+		// The violated node with the highest dominant inflation, lower
+		// index on ties.
+		worst, worstMult := -1, 0.0
+		for i := range st.tenants {
+			if len(st.tenants[i]) == 0 || !st.goalViolated(i) {
+				continue
+			}
+			if m := st.inflation(i).Max(); m > worstMult {
+				worst, worstMult = i, m
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		// Candidate movers: residents by descending dominant channel
+		// share (heaviest contributor first), lower ID on ties, skipping
+		// tenants already found unmovable.
+		movers := append([]string(nil), st.tenants[worst]...)
+		sort.SliceStable(movers, func(a, b int) bool {
+			return st.dominantShare(movers[a], worst) > st.dominantShare(movers[b], worst)
+		})
+		moved := false
+		for _, id := range movers {
+			if stuck[id] {
+				continue
+			}
+			// Receivers: every other server, least dominant-headroom-used
+			// first (spread), lower index on ties.
+			dst := st.pickReceiver(id, worst, false)
+			if dst < 0 {
+				stuck[id] = true
+				continue
+			}
+			plan.Moves = append(plan.Moves, st.move(id, dst))
+			moved = true
+			break
+		}
+		if !moved {
+			// Nothing on the worst node can move: the violation is not
+			// fixable by migration (every receiver refuses). Give up on
+			// this node by marking all residents stuck; if every violated
+			// node is stuck the loop ends.
+			allStuck := true
+			for _, id := range st.tenants[worst] {
+				if !stuck[id] {
+					allStuck = false
+				}
+			}
+			if allStuck {
+				break
+			}
+		}
+	}
+	plan.NodesAfter = st.nodesUsed()
+	return plan
+}
+
+// pickReceiver chooses the destination server for a tenant: capacity must
+// fit and the move must keep everyone on the receiver within goal. pack
+// selects densest-first (Optimize); otherwise emptiest-first (Rebalance).
+// Ties break to the lower index via strict inequality on an in-order scan.
+func (st *planState) pickReceiver(id string, exclude int, pack bool) int {
+	best, bestScore := -1, 0.0
+	for i := range st.tenants {
+		if i == exclude || !st.fits(i, st.size[id]) || !st.receiverOK(id, i) {
+			continue
+		}
+		score := dominantUsedFrac(st.alloc[i], st.f.servers[i].Capacity)
+		if best < 0 || (pack && score > bestScore) || (!pack && score < bestScore) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// dominantUsedFrac is the largest allocated fraction across dimensions.
+func dominantUsedFrac(alloc, capacity resource.Vector) float64 {
+	best := 0.0
+	for _, k := range resource.Kinds {
+		if capacity[k] > 0 {
+			if frac := alloc[k] / capacity[k]; frac > best {
+				best = frac
+			}
+		}
+	}
+	return best
+}
+
+// Optimize plans migrations that pack the tenants onto the fewest nodes
+// subject to every tenant's predicted p95 staying within goal: the
+// emptiest nodes are drained one at a time, each resident moved to the
+// densest other node that can take it goal-preservingly, and a node's
+// drain is committed only when every resident could be relocated. The
+// fabric is not mutated.
+func (f *Fabric) Optimize(goals []TenantGoal) Plan {
+	st := f.newPlanState(goals)
+	plan := Plan{NodesBefore: st.nodesUsed()}
+	// Donor order: fewest residents first (cheapest to drain), then lower
+	// dominant fill, then lower index.
+	donors := make([]int, 0, len(st.tenants))
+	for i := range st.tenants {
+		if len(st.tenants[i]) > 0 {
+			donors = append(donors, i)
+		}
+	}
+	sort.SliceStable(donors, func(a, b int) bool {
+		da, db := donors[a], donors[b]
+		if len(st.tenants[da]) != len(st.tenants[db]) {
+			return len(st.tenants[da]) < len(st.tenants[db])
+		}
+		fa := dominantUsedFrac(st.alloc[da], st.f.servers[da].Capacity)
+		fb := dominantUsedFrac(st.alloc[db], st.f.servers[db].Capacity)
+		if fa != fb {
+			return fa < fb
+		}
+		return da < db
+	})
+	for _, donor := range donors {
+		if len(st.tenants[donor]) == 0 {
+			continue // drained into earlier in this pass
+		}
+		// Tentatively drain the donor: big residents first (hardest to
+		// place), committing only if everyone relocates.
+		trial := append([]string(nil), st.tenants[donor]...)
+		sort.SliceStable(trial, func(a, b int) bool {
+			return st.dominantShare(trial[a], donor) > st.dominantShare(trial[b], donor)
+		})
+		var moves []Move
+		ok := true
+		for _, id := range trial {
+			dst := st.pickReceiver(id, donor, true)
+			if dst < 0 {
+				ok = false
+				break
+			}
+			moves = append(moves, st.move(id, dst))
+		}
+		if ok {
+			plan.Moves = append(plan.Moves, moves...)
+			continue
+		}
+		// Roll the partial drain back.
+		for i := len(moves) - 1; i >= 0; i-- {
+			st.move(moves[i].Tenant, moves[i].From)
+		}
+	}
+	plan.NodesAfter = st.nodesUsed()
+	return plan
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"daasscale/internal/fabric"
 	"daasscale/internal/faults"
 	"daasscale/internal/loop"
 	"daasscale/internal/resource"
@@ -230,6 +231,16 @@ func EncodeDecision(r *loop.DecisionRecord) []byte {
 	e.i64(r.Actuation.Expired)
 	e.i64(r.Actuation.SumEffectIntervals)
 	e.i64(r.Actuation.MaxEffectIntervals)
+	// Contention stamp (format version 2): the hosting node and its
+	// interference state, appended after every v1 field.
+	e.i64(r.Node)
+	e.b = binary.LittleEndian.AppendUint32(e.b, uint32(fabric.NumPressureChannels))
+	for _, ch := range fabric.PressureChannels {
+		e.f64(r.NodePressure[ch])
+	}
+	for _, ch := range fabric.PressureChannels {
+		e.f64(r.WaitInflation[ch])
+	}
 	return e.b
 }
 
@@ -268,6 +279,15 @@ func DecodeDecision(payload []byte) (loop.DecisionRecord, error) {
 	r.Actuation.Expired = d.i64()
 	r.Actuation.SumEffectIntervals = d.i64()
 	r.Actuation.MaxEffectIntervals = d.i64()
+	r.Node = d.i64()
+	if d.fixedLen(fabric.NumPressureChannels, "pressure-channel array") {
+		for _, ch := range fabric.PressureChannels {
+			r.NodePressure[ch] = d.f64()
+		}
+		for _, ch := range fabric.PressureChannels {
+			r.WaitInflation[ch] = d.f64()
+		}
+	}
 	if d.err != nil {
 		return loop.DecisionRecord{}, d.err
 	}

@@ -213,7 +213,7 @@ func TestRotateRetryAfterPartialRotation(t *testing.T) {
 // a same-length foreign file is refused.
 func TestOpenWriterRecoversTornHeader(t *testing.T) {
 	m, path := memLedger(t)
-	hdr := []byte{0x44, 0x4C, 0x47, 0x31, 1, 0} // "DLG1" + torn version
+	hdr := []byte{0x44, 0x4C, 0x47, 0x31, byte(Version), 0} // "DLG1" + torn version
 	writeRaw(t, m, path, hdr)
 	w, err := OpenWriterFS(m, path)
 	if err != nil {

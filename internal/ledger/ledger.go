@@ -57,8 +57,11 @@ import (
 const (
 	// Magic identifies a ledger file ("DLG1" little-endian).
 	Magic = uint32(0x31474C44)
-	// Version is the current format version.
-	Version = uint32(1)
+	// Version is the current format version. Version 2 appended the
+	// contention stamp (node index, channel pressures, wait inflation) to
+	// every decision record; version-1 ledgers fail loudly on open rather
+	// than mis-framing.
+	Version = uint32(2)
 	// headerLen is the byte length of the file header.
 	headerLen = 8
 	// frameOverhead is the per-record framing cost: kind, length, CRC.

@@ -12,6 +12,7 @@ import (
 
 	"daasscale/internal/actuate"
 	"daasscale/internal/core"
+	"daasscale/internal/fabric"
 	"daasscale/internal/faults"
 	"daasscale/internal/loop"
 	"daasscale/internal/policy"
@@ -83,6 +84,13 @@ func randRecord(rng *rand.Rand) loop.DecisionRecord {
 		TransientFailures: rng.Intn(50), Refused: rng.Intn(50),
 		Superseded: rng.Intn(50), Expired: rng.Intn(50),
 		SumEffectIntervals: rng.Intn(500), MaxEffectIntervals: rng.Intn(50),
+	}
+	r.Node = rng.Intn(18) - 1 // −1 = off-fabric
+	if r.Node >= 0 {
+		for _, ch := range fabric.PressureChannels {
+			r.NodePressure[ch] = f()
+			r.WaitInflation[ch] = f()
+		}
 	}
 	return r
 }

@@ -23,7 +23,9 @@ import (
 	"daasscale/internal/actuate"
 	"daasscale/internal/engine"
 	"daasscale/internal/exec"
+	"daasscale/internal/fabric"
 	"daasscale/internal/faults"
+	"daasscale/internal/policy"
 	"daasscale/internal/stats"
 	"daasscale/internal/telemetry"
 	"daasscale/internal/workload"
@@ -164,6 +166,14 @@ type TenantLoop[T comparable] struct {
 	delivered int
 	preFaults faults.Stats
 	preAct    actuate.Stats
+
+	// node, pressure and inflation are the cluster runner's contention
+	// stamp (SetNodeContention): the hosting server and the interference
+	// state the engine runs under, carried into every DecisionRecord.
+	// node is −1 off-fabric.
+	node      int
+	pressure  fabric.Pressure
+	inflation fabric.Inflation
 }
 
 // Totals is the loop's run-level aggregation.
@@ -188,9 +198,10 @@ type Totals struct {
 // New assembles a loop. The engine, decider and applier must be non-nil.
 func New[T comparable](cfg Config[T]) *TenantLoop[T] {
 	lp := &TenantLoop[T]{
-		cfg: cfg,
-		eng: cfg.Engine,
-		gen: workload.NewGenerator(cfg.Seed+GeneratorSeedOffset, cfg.Jitter),
+		cfg:  cfg,
+		eng:  cfg.Engine,
+		gen:  workload.NewGenerator(cfg.Seed+GeneratorSeedOffset, cfg.Jitter),
+		node: -1,
 	}
 	if cfg.Faults.Enabled() {
 		// The stream seed depends only on the run seed, so every policy
@@ -383,10 +394,22 @@ func (lp *TenantLoop[T]) Apply(interval int) error {
 			BalloonTargetMB: dec.BalloonTargetMB,
 			Explanations:    dec.Explanations,
 			Delivered:       delivered,
+			Node:            lp.node,
+			NodePressure:    lp.pressure,
+			WaitInflation:   lp.inflation,
 		}
 		if lp.cfg.Describe != nil {
 			rec.Actual = lp.cfg.Describe(lp.actual)
 			rec.Target = lp.cfg.Describe(dec.Target)
+		}
+		if lp.node >= 0 {
+			if mult := lp.inflation.Max(); mult >= policy.InflationExplainThreshold {
+				// Fresh slice: the decision's explanations may share a
+				// backing array with the decider's internals.
+				exp := make([]string, 0, len(rec.Explanations)+1)
+				exp = append(exp, rec.Explanations...)
+				rec.Explanations = append(exp, policy.ContentionExplanation(lp.node, mult))
+			}
 		}
 		if lp.inj != nil {
 			rec.Faults = subFaultStats(lp.inj.Stats(), preFaults)
@@ -397,6 +420,20 @@ func (lp *TenantLoop[T]) Apply(interval int) error {
 		lp.cfg.Recorder.Record(rec)
 	}
 	return nil
+}
+
+// SetNodeContention stamps the loop with its hosting server's contention
+// state — the node index, channel pressures, and the wait-inflation
+// multipliers the engine runs under. Cluster runners call it from the
+// serial apply phase after recomputing node pressure, i.e. the stamp
+// describes the interference active for the *following* intervals, which
+// is exactly what their DecisionRecords should carry (the engines consume
+// the same multipliers via engine.SetContention). Off-fabric loops never
+// call it and keep node −1.
+func (lp *TenantLoop[T]) SetNodeContention(node int, p fabric.Pressure, inf fabric.Inflation) {
+	lp.node = node
+	lp.pressure = p
+	lp.inflation = inf
 }
 
 // StepSnapshot runs one full decision step against an externally

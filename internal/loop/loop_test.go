@@ -22,6 +22,7 @@ func TestSaltsPairwiseDistinct(t *testing.T) {
 		"engine-base": 0,
 		"fault":       FaultStreamSalt,
 		"actuation":   ActuationStreamSalt,
+		"migration":   MigrationStreamSalt,
 	}
 	for a, av := range salts {
 		for b, bv := range salts {

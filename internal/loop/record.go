@@ -2,6 +2,7 @@ package loop
 
 import (
 	"daasscale/internal/actuate"
+	"daasscale/internal/fabric"
 	"daasscale/internal/faults"
 	"daasscale/internal/telemetry"
 )
@@ -51,6 +52,19 @@ type DecisionRecord struct {
 	// Actuation is the per-interval delta of the actuation counters
 	// (all-zero on the synchronous path).
 	Actuation actuate.Stats
+
+	// Node is the index of the fabric server hosting the tenant during
+	// the interval, or −1 when the loop is not running on a cluster fabric
+	// (single-tenant runners, ballooning arms, the serving path).
+	Node int
+	// NodePressure is the hosting node's shared-channel pressure during
+	// the interval (zero when Node is −1).
+	NodePressure fabric.Pressure
+	// WaitInflation is the per-channel wait-inflation multiplier the
+	// tenant's engine ran under during the interval (all-ones when the
+	// interference model is off or the node was uncontended; zero when
+	// Node is −1).
+	WaitInflation fabric.Inflation
 }
 
 // Recorder receives one DecisionRecord per loop step. Implementations are

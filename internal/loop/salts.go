@@ -19,6 +19,11 @@ const (
 	// stream from the fault injector's and the engine's.
 	ActuationStreamSalt = 0x616374 // "act"
 
+	// MigrationStreamSalt decorrelates the migration-actuation channel's
+	// stream (the failable channel rebalance moves ride) from the resize
+	// actuator's — a tenant may have both in flight in the same interval.
+	MigrationStreamSalt = 0x6D6967 // "mig"
+
 	// GeneratorSeedOffset is added to the run seed for the load
 	// generator's arrival-jitter stream (a plain offset rather than a
 	// SplitSeed salt, kept for bit-compatibility with the original

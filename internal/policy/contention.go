@@ -1,0 +1,17 @@
+package policy
+
+import "fmt"
+
+// InflationExplainThreshold is the dominant wait-inflation multiplier
+// above which a decision record's explanation stream notes the noisy
+// neighbors: below it the interference is within measurement noise and
+// narrating it would only drown the estimator's §4 explanations.
+const InflationExplainThreshold = 1.05
+
+// ContentionExplanation narrates node-level interference for the
+// `-explain` surface, in the same voice as the estimator's rule-firing
+// explanations. Call it when the dominant inflation multiplier exceeds
+// InflationExplainThreshold.
+func ContentionExplanation(node int, mult float64) string {
+	return fmt.Sprintf("contention: node %d neighbors inflate waits ×%.2f — latency slack is interference, not under-provisioning", node, mult)
+}

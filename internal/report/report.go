@@ -13,8 +13,10 @@ import (
 	"strconv"
 	"strings"
 
+	"daasscale/internal/fabric"
 	"daasscale/internal/fleet"
 	"daasscale/internal/loop"
+	"daasscale/internal/resource"
 	"daasscale/internal/sim"
 	"daasscale/internal/stats"
 	"daasscale/internal/telemetry"
@@ -244,6 +246,38 @@ func SeriesCSV(w io.Writer, series []sim.IntervalPoint) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// NodeTable writes the per-server cluster view behind the paper's §7
+// co-location analysis: how many tenants each node hosts, how full every
+// resource dimension is, and how contended the shared channels are (the
+// interference the residents actually run under).
+func NodeTable(w io.Writer, title string, res sim.MultiTenantResult) {
+	fmt.Fprintf(w, "node utilization: %s\n", title)
+	fmt.Fprintf(w, "%4s  %7s", "node", "tenants")
+	for _, k := range resource.Kinds {
+		fmt.Fprintf(w, "  %8s", k)
+	}
+	for _, ch := range fabric.PressureChannels {
+		fmt.Fprintf(w, "  %11s", ch)
+	}
+	fmt.Fprintf(w, "  %9s\n", "inflation")
+	for _, n := range res.Nodes {
+		fmt.Fprintf(w, "%4d  %7d", n.Node, n.Tenants)
+		for _, k := range resource.Kinds {
+			fmt.Fprintf(w, "  %7.1f%%", n.Utilization[k]*100)
+		}
+		for _, ch := range fabric.PressureChannels {
+			fmt.Fprintf(w, "  %11.2f", n.Pressure[ch])
+		}
+		fmt.Fprintf(w, "  %8.2fx\n", n.Inflation.Max())
+	}
+	fmt.Fprintf(w, "cluster: %d migration(s) (%d by rebalancer), %d refusal(s), peak CPU alloc %.1f%%",
+		res.Migrations, res.RebalanceMigrations, res.Refusals, res.PeakClusterCPUFrac*100)
+	if res.PeakWaitInflation > 0 {
+		fmt.Fprintf(w, ", peak wait inflation %.2fx", res.PeakWaitInflation)
+	}
+	fmt.Fprintln(w)
 }
 
 // CDFTable writes selected points of a CDF (value, cumulative fraction).

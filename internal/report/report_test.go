@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"daasscale/internal/fabric"
 	"daasscale/internal/fleet"
 	"daasscale/internal/resource"
 	"daasscale/internal/sim"
@@ -184,5 +185,52 @@ func TestMarkdownComparison(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestNodeTable(t *testing.T) {
+	res := sim.MultiTenantResult{
+		Migrations:          4,
+		RebalanceMigrations: 2,
+		Refusals:            1,
+		PeakClusterCPUFrac:  0.85,
+		PeakWaitInflation:   1.75,
+		Nodes: []sim.NodeStats{
+			{
+				Node: 0, Tenants: 3,
+				Utilization: resource.Vector{0.85, 0.40, 0.10, 0.25},
+				Pressure:    fabric.Pressure{1.20, 0.50, 0.90},
+				Inflation:   fabric.Inflation{1.30, 1, 1},
+			},
+			{Node: 1, Tenants: 0, Inflation: fabric.NoInflation()},
+		},
+	}
+	var buf bytes.Buffer
+	NodeTable(&buf, "contended cluster", res)
+	out := buf.String()
+	for _, want := range []string{
+		"node utilization: contended cluster",
+		"buffer-pool", "log-device", "cpu-cache",
+		"85.0%", "1.20", "1.30x",
+		"4 migration(s) (2 by rebalancer)", "1 refusal(s)",
+		"peak wait inflation 1.75x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("node table missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Errorf("node table has %d lines, want 5:\n%s", lines, out)
+	}
+}
+
+func TestNodeTableNoContentionStamp(t *testing.T) {
+	// Runs predating the contention stamp carry PeakWaitInflation 0; the
+	// summary line must omit the inflation figure rather than print 0.00x.
+	res := sim.MultiTenantResult{Nodes: []sim.NodeStats{{Node: 0}}}
+	var buf bytes.Buffer
+	NodeTable(&buf, "legacy", res)
+	if strings.Contains(buf.String(), "peak wait inflation") {
+		t.Errorf("zero-stamp run printed an inflation figure:\n%s", buf.String())
 	}
 }

@@ -48,6 +48,10 @@ type TenantResult struct {
 	// Migrations counts resizes the fabric executed by moving this tenant
 	// to another server.
 	Migrations int
+	// RebalanceMigrations counts moves of this tenant the placement
+	// optimizer planned and the fabric executed (a subset of the fabric's
+	// total migration count; each lands with a cold cache).
+	RebalanceMigrations int
 	// Actuation reports the tenant's actuation-channel counters
 	// (all-zero on the synchronous path).
 	Actuation actuate.Stats
@@ -56,15 +60,41 @@ type TenantResult struct {
 	Audit []loop.DecisionRecord
 }
 
+// NodeStats is one server's end-of-run state: who it hosts, how full each
+// resource dimension is, and how contended its shared channels are.
+type NodeStats struct {
+	// Node is the server's cluster index.
+	Node int
+	// Tenants is the number of hosted tenants.
+	Tenants int
+	// Utilization is the allocated fraction of each resource dimension.
+	Utilization resource.Vector
+	// Pressure is the shared-channel pressure (demand over effective
+	// shared capacity; above 1 the residents interfere).
+	Pressure fabric.Pressure
+	// Inflation is the per-channel wait-inflation multiplier residents
+	// run under (all-ones when the interference model is off).
+	Inflation fabric.Inflation
+}
+
 // MultiTenantResult is the outcome of a cluster run.
 type MultiTenantResult struct {
 	Tenants []TenantResult
 	// Migrations and Refusals are the fabric's totals.
 	Migrations int
 	Refusals   int
+	// RebalanceMigrations is the cluster total of optimizer-planned moves
+	// the fabric executed (also included in Migrations).
+	RebalanceMigrations int
 	// PeakClusterCPUFrac is the highest CPU allocation fraction any server
 	// reached.
 	PeakClusterCPUFrac float64
+	// PeakWaitInflation is the highest dominant wait-inflation multiplier
+	// any node imposed during the run (1 when never contended, 0 on runs
+	// predating the contention stamp).
+	PeakWaitInflation float64
+	// Nodes is the per-server end-of-run report.
+	Nodes []NodeStats
 }
 
 // MultiTenantSpec describes a cluster of auto-scaled tenants sharing a
@@ -99,6 +129,23 @@ type MultiTenantSpec struct {
 	// resizes are superseded, and the per-tenant streams derive from the
 	// tenant seeds, so chaos runs stay bit-identical at any worker count.
 	Actuation actuate.Config
+	// Contention installs the noisy-neighbor interference model on the
+	// fabric (zero value = off: the historical additive model, bit-exact).
+	// When enabled, each node's shared-channel overcommit inflates its
+	// residents' waits through engine.SetContention; the multipliers are
+	// recomputed in the serial apply phase from the fabric's exact
+	// allocation sums, so runs stay bit-identical at any worker count.
+	Contention fabric.Contention
+	// RebalanceEvery, when > 0, runs the goal-preserving placement
+	// optimizer every that many intervals: fabric.Rebalance plans moves
+	// that bring every tenant's predicted p95 back within goal, and the
+	// runner executes them — through each tenant's migration actuation
+	// channel when Actuation is enabled (failable, retried, charged a cold
+	// cache on landing), synchronously otherwise.
+	RebalanceEvery int
+	// RebalancePack additionally runs fabric.Optimize when no goal is
+	// violated, consolidating tenants onto fewer nodes.
+	RebalancePack bool
 	// Audit, when true, collects each tenant's loop.DecisionRecords into
 	// TenantResult.Audit.
 	Audit bool
@@ -169,6 +216,15 @@ type scalerReconciler struct{ scaler *core.AutoScaler }
 // ForceActual implements loop.Reconciler.
 func (r scalerReconciler) ForceActual(c resource.Container) { r.scaler.ForceContainer(c) }
 
+// migTarget is the migration actuator's desired state: a planned
+// destination plus a per-tenant sequence number, so each planned move is
+// a fresh desired-state write (re-planning the same destination after an
+// external migration moved the tenant away still opens an operation).
+type migTarget struct {
+	seq int
+	dst int
+}
+
 // tenantState is one tenant's private simulation state. During the tick
 // phase workers touch only their own tenantState (index-addressed), which
 // is what makes the fan-out race-free and deterministic.
@@ -178,6 +234,15 @@ type tenantState struct {
 	lp   *loop.TenantLoop[resource.Container]
 	res  TenantResult
 	col  *loop.Collector
+
+	// mig is the tenant's migration actuation channel (nil when the run
+	// is synchronous or never rebalances); migSeq numbers its submissions.
+	mig    *actuate.Actuator[migTarget]
+	migSeq int
+	// activeScalar is the dominant wait-inflation multiplier the tenant's
+	// engine ran under while the last snapshot was measured — the divisor
+	// that recovers the contention-free p95 baseline the optimizer needs.
+	activeScalar float64
 }
 
 // clusterSchedule selects how runMultiTenant lays the interval loop over
@@ -221,6 +286,12 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool, 
 	if err != nil {
 		return MultiTenantResult{}, err
 	}
+	if err := fab.SetContention(spec.Contention); err != nil {
+		return MultiTenantResult{}, err
+	}
+	contentionOn := spec.Contention.Enabled()
+	rebalanceOn := spec.RebalanceEvery > 0
+	actuated := spec.Actuation.Enabled()
 
 	// Build the per-tenant states in parallel: engine construction warms
 	// buffer pools and is itself per-tenant work. Placement happens
@@ -248,7 +319,7 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool, 
 		if !sched.reference {
 			sampleHint = intervals * eng.TicksPerInterval() * engine.MaxLatencySamplesPerTick
 		}
-		st := &tenantState{spec: ts, eng: eng, res: TenantResult{ID: ts.ID}}
+		st := &tenantState{spec: ts, eng: eng, res: TenantResult{ID: ts.ID}, activeScalar: 1}
 		rec, col := specRecorder(spec.Audit, spec.Recorder)
 		st.col = col
 		st.lp = loop.New(loop.Config[resource.Container]{
@@ -277,11 +348,59 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool, 
 	if err != nil {
 		return MultiTenantResult{}, err
 	}
+	byID := make(map[string]*tenantState, len(states))
 	for _, st := range states {
 		if err := fab.Place(st.spec.ID, st.eng.Container()); err != nil {
 			return MultiTenantResult{}, fmt.Errorf("sim: placing tenant %q: %w", st.spec.ID, err)
 		}
+		byID[st.spec.ID] = st
 	}
+	if rebalanceOn && actuated {
+		// Each tenant gets a private migration actuation channel, its
+		// stream split from the tenant seed by a salt of its own, so
+		// resize and migration chaos stay decorrelated and runs stay
+		// bit-identical at any worker count.
+		for _, st := range states {
+			node := 0
+			if s, ok := fab.ServerOf(st.spec.ID); ok {
+				node = s.ID
+			}
+			st.mig = actuate.New(spec.Actuation,
+				exec.SplitSeed(st.spec.Seed, loop.MigrationStreamSalt), migTarget{dst: node})
+		}
+	}
+
+	out := MultiTenantResult{}
+	// installContention recomputes every node's shared-channel pressure
+	// from the fabric's exact allocation sums and installs the resulting
+	// wait-inflation multipliers on every resident's engine and loop. It
+	// runs in the serial phase — after the applies (and any migrations)
+	// have settled the placement — so the multipliers the next parallel
+	// tick phase reads are a pure function of run state, never of worker
+	// count. The loop stamp also feeds the interval's DecisionRecords: a
+	// record carries the interference that was active while its interval's
+	// engine work ran.
+	installContention := func() {
+		for _, st := range states {
+			inf, node, ok := fab.TenantInflation(st.spec.ID)
+			if !ok {
+				continue
+			}
+			st.lp.SetNodeContention(node, fab.ServerPressure(node), inf)
+			if mx := inf.Max(); mx > out.PeakWaitInflation {
+				out.PeakWaitInflation = mx
+			}
+			if contentionOn {
+				st.eng.SetContention(engine.Contention{
+					CPU:    inf[fabric.ChannelCPUCache],
+					Memory: inf[fabric.ChannelBufferPool],
+					LogIO:  inf[fabric.ChannelLogDevice],
+				})
+				st.activeScalar = inf.Max()
+			}
+		}
+	}
+	installContention()
 
 	// The pprof label sets are built once per run: pprof.Do itself
 	// allocates per call, which is why labelling is opt-in at all.
@@ -291,7 +410,6 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool, 
 		applyLabels = pprof.Labels("phase", "apply")
 	}
 
-	out := MultiTenantResult{}
 	for m := 0; m < intervals; m++ {
 		if err := checkCtx(ctx); err != nil {
 			return MultiTenantResult{}, fmt.Errorf("sim: cluster interval %d: %w", m, err)
@@ -351,6 +469,25 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool, 
 		if err != nil {
 			return MultiTenantResult{}, err
 		}
+		// Phase 2 continues serially: drive the migration actuators, plan
+		// and execute rebalance moves, then recompute node contention for
+		// the next interval's ticks. All of it reads the shared fabric, so
+		// it stays in the serial phase — in tenant order, deterministic.
+		if rebalanceOn {
+			if actuated {
+				for _, st := range states {
+					if err := st.stepMigration(m, fab); err != nil {
+						return MultiTenantResult{}, fmt.Errorf("sim: interval %d: migrating tenant %q: %w", m, st.spec.ID, err)
+					}
+				}
+			}
+			if (m+1)%spec.RebalanceEvery == 0 {
+				if err := rebalanceCluster(spec, fab, states, byID); err != nil {
+					return MultiTenantResult{}, fmt.Errorf("sim: interval %d: %w", m, err)
+				}
+			}
+		}
+		installContention()
 		for _, u := range fab.Utilization() {
 			if u > out.PeakClusterCPUFrac {
 				out.PeakClusterCPUFrac = u
@@ -374,5 +511,92 @@ func runMultiTenant(ctx context.Context, spec MultiTenantSpec, pool *exec.Pool, 
 	}
 	out.Migrations = fab.Migrations()
 	out.Refusals = fab.Refusals()
+	for _, st := range states {
+		out.RebalanceMigrations += st.res.RebalanceMigrations
+	}
+	util := fab.UtilizationByResource()
+	for i, s := range fab.Servers() {
+		out.Nodes = append(out.Nodes, NodeStats{
+			Node:        s.ID,
+			Tenants:     s.TenantCount(),
+			Utilization: util[i],
+			Pressure:    fab.ServerPressure(i),
+			Inflation:   fab.ServerInflation(i),
+		})
+	}
 	return out, nil
+}
+
+// stepMigration drives the tenant's migration actuation channel one
+// interval: an open move lands on the fabric (refusals are re-wrapped so
+// the actuator retries with backoff), and a landing charges the engine a
+// cold cache — the latency cost that makes migrations non-free.
+func (st *tenantState) stepMigration(interval int, fab *fabric.Fabric) error {
+	return st.mig.Step(interval, func(t migTarget) error {
+		if s, ok := fab.ServerOf(st.spec.ID); ok && s.ID == t.dst {
+			// Already there — e.g. a resize-path migration landed us on the
+			// planned destination first. Nothing to do, nothing to charge.
+			return nil
+		}
+		if err := fab.Migrate(st.spec.ID, t.dst); err != nil {
+			if errors.Is(err, fabric.ErrRefused) {
+				return fmt.Errorf("%w: %v", actuate.ErrRefused, err)
+			}
+			return err
+		}
+		st.eng.MigrateRestart()
+		st.res.RebalanceMigrations++
+		return nil
+	})
+}
+
+// rebalanceCluster plans goal-preserving moves against the fabric's
+// current placement and executes them — as desired-state writes to each
+// tenant's migration actuator when the run is actuated, synchronously
+// otherwise. Baselines divide the inflation active at measurement time
+// out of the last observed p95, so the optimizer reasons in
+// contention-free terms and its predictions compose with any destination
+// node's inflation.
+func rebalanceCluster(spec MultiTenantSpec, fab *fabric.Fabric, states []*tenantState, byID map[string]*tenantState) error {
+	goals := make([]fabric.TenantGoal, 0, len(states))
+	for _, st := range states {
+		g := fabric.TenantGoal{ID: st.spec.ID, GoalMs: st.spec.GoalMs}
+		if p95 := st.lp.Snapshot().P95LatencyMs; p95 > 0 && st.activeScalar > 0 {
+			g.BaselineP95Ms = p95 / st.activeScalar
+		}
+		goals = append(goals, g)
+	}
+	plan := fab.Rebalance(goals)
+	if spec.RebalancePack && len(plan.Moves) == 0 {
+		// Nothing violated: consolidate instead.
+		plan = fab.Optimize(goals)
+	}
+	actuated := spec.Actuation.Enabled()
+	for _, mv := range plan.Moves {
+		st := byID[mv.Tenant]
+		if actuated {
+			if !st.mig.Settled() {
+				// A previous move is still in flight; the next planning
+				// round sees wherever it landed.
+				continue
+			}
+			st.migSeq++
+			st.mig.Submit(migTarget{seq: st.migSeq, dst: mv.To})
+			continue
+		}
+		// Synchronous path: the move lands now. A refusal means the plan
+		// raced nothing (this phase is serial) but a capacity edge the
+		// planner's scratch model and the fabric disagree on — skip it; the
+		// next round re-plans from reality.
+		err := fab.Migrate(mv.Tenant, mv.To)
+		switch {
+		case errors.Is(err, fabric.ErrRefused):
+		case err != nil:
+			return fmt.Errorf("rebalancing tenant %q: %w", mv.Tenant, err)
+		default:
+			st.eng.MigrateRestart()
+			st.res.RebalanceMigrations++
+		}
+	}
+	return nil
 }

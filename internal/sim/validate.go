@@ -133,6 +133,12 @@ func (spec MultiTenantSpec) Validate() error {
 		}
 		ids[ts.ID] = true
 	}
+	if spec.RebalanceEvery < 0 {
+		return invalidSpec("RebalanceEvery must be ≥ 0, got %d", spec.RebalanceEvery)
+	}
+	if err := spec.Contention.Validate(); err != nil {
+		return invalidSpec("%v", err)
+	}
 	if err := validateFaults(spec.Faults); err != nil {
 		return err
 	}
